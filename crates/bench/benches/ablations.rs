@@ -1,0 +1,45 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! replicated VCPUs vs static partitioning (§5.2) and exitless/batched
+//! syscall handling (§10 future work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use veil_snp::ghcb::{Ghcb, GhcbExit};
+use veil_snp::perms::Vmpl;
+
+fn bench(c: &mut Criterion) {
+    // Replication's cost side: the on-demand switch a statically
+    // partitioned design would avoid (at the price of dedicated VCPUs).
+    let mut group = c.benchmark_group("ablation_partition");
+    group.bench_function("on_demand_service_call", |b| {
+        let mut cvm = veil_services::CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
+        let ghcb_gfn = cvm.hv.machine.ghcb_msr(0).unwrap();
+        let ghcb = Ghcb::at(&cvm.hv.machine, ghcb_gfn).unwrap();
+        b.iter(|| {
+            ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl3, GhcbExit::DomainSwitch, 1, 0)
+                .unwrap();
+            cvm.hv.vmgexit(0, false).unwrap();
+            ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl1, GhcbExit::DomainSwitch, 3, 0)
+                .unwrap();
+            black_box(cvm.hv.vmgexit(0, false).unwrap());
+        })
+    });
+    group.finish();
+
+    for r in veil_bench::ablation_static_partition() {
+        println!(
+            "[ablation §5.2] {} vcpus: replicated capacity {} vs static {} (switch {} cyc)",
+            r.vcpus, r.replicated_capacity, r.static_capacity, r.switch_cost
+        );
+    }
+    for r in veil_bench::ablation_exitless(200) {
+        println!(
+            "[ablation §10] batch {:>2}: SQLite enclave overhead {:+.1}%",
+            r.batch,
+            r.overhead * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 6 / Table 5: system audit-log protection (paper: kaudit
+//! 0.3–8.7%, VeilS-LOG 1.4–18.7% over unaudited execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use veil_os::audit::AuditMode;
+use veil_workloads::driver::VeilUnshieldedDriver;
+use veil_workloads::memcached::MemcachedWorkload;
+use veil_workloads::Workload;
+
+fn run_with(audit: AuditMode, ops: usize) -> u64 {
+    let mut cvm =
+        veil_services::CvmBuilder::new().frames(4096).log_frames(512).build().unwrap();
+    cvm.kernel.audit.mode = audit;
+    if audit != AuditMode::Off {
+        cvm.kernel.audit.rules = veil_os::audit::paper_ruleset();
+    }
+    let pid = cvm.spawn();
+    let mut d = VeilUnshieldedDriver { cvm: &mut cvm, pid };
+    MemcachedWorkload { ops, keyspace: 64 }.run(&mut d).unwrap().checksum
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit_log");
+    group.sample_size(10);
+    group.bench_function("memcached_no_audit", |b| {
+        b.iter(|| black_box(run_with(AuditMode::Off, 150)))
+    });
+    group.bench_function("memcached_kaudit", |b| {
+        b.iter(|| black_box(run_with(AuditMode::Kaudit, 150)))
+    });
+    group.bench_function("memcached_veils_log", |b| {
+        b.iter(|| black_box(run_with(AuditMode::VeilLog, 150)))
+    });
+    group.finish();
+
+    for r in veil_bench::fig6(1) {
+        println!(
+            "[paper Fig.6] {:<9} kaudit {:+.1}% / veils-log {:+.1}% (paper {:+.1}%/{:+.1}%), {:.1}k logs/s",
+            r.program,
+            r.kaudit_overhead() * 100.0,
+            r.veil_overhead() * 100.0,
+            r.paper.0 * 100.0,
+            r.paper.1 * 100.0,
+            r.log_rate_per_s / 1000.0,
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §9.1 "Initialization time" (paper: Veil adds ~2 s to a 2 GB CVM boot,
+//! +13%, >70% of it in `RMPADJUST`).
+//!
+//! Measures host time to *simulate* both boots and reports the simulated
+//! cycle delta through a Criterion throughput label; the paper-facing
+//! numbers come from `reproduce --experiment boot`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boot_time");
+    group.sample_size(10);
+    group.bench_function("native_cvm_boot", |b| {
+        b.iter(|| {
+            let cvm = veil_services::CvmBuilder::new().frames(2048).build_native().unwrap();
+            black_box(cvm.native_boot_cycles)
+        })
+    });
+    group.bench_function("veil_cvm_boot", |b| {
+        b.iter(|| {
+            let cvm = veil_services::CvmBuilder::new().frames(2048).build().unwrap();
+            black_box(cvm.veil_boot_cycles)
+        })
+    });
+    group.finish();
+
+    // Print the paper-facing shape once per bench run.
+    let r = veil_bench::boot_time(2048);
+    println!(
+        "[paper §9.1] veil boot delta = {:.2} s on 2 GB (paper ~2 s); RMPADJUST share {:.0}%",
+        r.extrapolated_2gb_seconds,
+        r.rmpadjust_share * 100.0
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 5 / Table 4: shielding real-world programs with VeilS-ENC
+//! (paper: 4.9%–63.9% overhead, exit-dominated except lighttpd).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime};
+use veil_workloads::driver::{EnclaveDriver, NativeDriver};
+use veil_workloads::minidb::SqliteWorkload;
+use veil_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enclave_apps");
+    group.sample_size(10);
+
+    group.bench_function("sqlite_native", |b| {
+        b.iter(|| {
+            let mut cvm = veil_services::CvmBuilder::new().frames(4096).build_native().unwrap();
+            let pid = cvm.spawn();
+            let mut d = NativeDriver { cvm: &mut cvm, pid };
+            black_box(SqliteWorkload { rows: 100 }.run(&mut d).unwrap())
+        })
+    });
+    group.bench_function("sqlite_enclave", |b| {
+        b.iter(|| {
+            let mut cvm = veil_services::CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
+            let pid = cvm.spawn();
+            let handle = install_enclave(
+                &mut cvm,
+                pid,
+                &EnclaveBinary::build("db", 8192, 4096).with_heap_pages(16),
+            )
+            .unwrap();
+            let mut rt = EnclaveRuntime::new(handle);
+            let mut d = EnclaveDriver { cvm: &mut cvm, rt: &mut rt };
+            black_box(SqliteWorkload { rows: 100 }.run(&mut d).unwrap())
+        })
+    });
+    group.finish();
+
+    for r in veil_bench::fig5(1) {
+        println!(
+            "[paper Fig.5] {:<9} overhead {:+.1}% (paper {:+.1}%), split redirect {:.1}pp / exit {:.1}pp, {:.1}k exits/s, output {}",
+            r.program,
+            r.overhead() * 100.0,
+            r.paper_overhead * 100.0,
+            r.redirect_points(),
+            r.exit_points(),
+            r.exit_rate_per_s / 1000.0,
+            if r.checksum_match { "match" } else { "MISMATCH" },
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! CS1: secure module load/unload under VeilS-KCI (paper: ~55k extra
+//! cycles, +5.7% load / +4.2% unload for a 24 KiB module).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use veil_core::cvm::VENDOR_KEY;
+use veil_os::module::ModuleImage;
+
+fn bench(c: &mut Criterion) {
+    let image = ModuleImage::build_signed("cs1_module", 6 * 4096 - 512, &VENDOR_KEY);
+
+    let mut group = c.benchmark_group("module_kci");
+    group.sample_size(20);
+    for (label, kci) in [("load_unload_native", false), ("load_unload_kci", true)] {
+        group.bench_function(label, |b| {
+            let mut cvm =
+                veil_services::CvmBuilder::new().frames(4096).kci(kci).build().unwrap();
+            b.iter(|| {
+                let (kernel, mut ctx) = cvm.kctx();
+                kernel.load_module(&mut ctx, &image).unwrap();
+                kernel.unload_module(&mut ctx, "cs1_module").unwrap();
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+
+    let r = veil_bench::cs1(50);
+    println!(
+        "[paper CS1] load  {:>9} -> {:>9} cyc (+{} = {:+.1}%, paper ~55k / +5.7%)",
+        r.load_native,
+        r.load_kci,
+        r.load_delta(),
+        r.load_increase() * 100.0
+    );
+    println!(
+        "[paper CS1] unload {:>8} -> {:>9} cyc (+{} = {:+.1}%, paper ~55k / +4.2%)",
+        r.unload_native,
+        r.unload_kci,
+        r.unload_delta(),
+        r.unload_increase() * 100.0
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Fig. 4 / Table 3: system-call redirection cost from a VeilS-ENC
+//! enclave (paper: 3.3–7.1× over native).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use veil_os::sys::{OpenFlags, Sys};
+use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syscall_redirect");
+    group.sample_size(20);
+
+    // Native printf (the paper's highest-ratio syscall).
+    group.bench_function("printf_native", |b| {
+        let mut cvm = veil_services::CvmBuilder::new().frames(2048).build_native().unwrap();
+        let pid = cvm.spawn();
+        b.iter(|| {
+            let mut sys = cvm.sys(pid);
+            black_box(sys.print("Hello World!").unwrap())
+        })
+    });
+
+    // Enclave printf: two domain switches + sanitizer copies per call.
+    group.bench_function("printf_enclave", |b| {
+        let mut cvm = veil_services::CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
+        let pid = cvm.spawn();
+        let handle =
+            install_enclave(&mut cvm, pid, &EnclaveBinary::build("bench", 4096, 0)).unwrap();
+        let mut rt = EnclaveRuntime::new(handle);
+        b.iter(|| {
+            let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+            black_box(sys.print("Hello World!").unwrap())
+        })
+    });
+
+    // Enclave 10 KB read (lowest ratio: copies amortize the switches).
+    group.bench_function("read10k_enclave", |b| {
+        let mut cvm = veil_services::CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
+        let pid = cvm.spawn();
+        let handle =
+            install_enclave(&mut cvm, pid, &EnclaveBinary::build("bench2", 4096, 0)).unwrap();
+        let mut rt = EnclaveRuntime::new(handle);
+        let fd = {
+            let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+            let fd = sys.open("/data/f", OpenFlags::rdwr_create()).unwrap();
+            sys.write(fd, &vec![7u8; 10 * 1024]).unwrap();
+            fd
+        };
+        let mut buf = vec![0u8; 10 * 1024];
+        b.iter(|| {
+            let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+            black_box(sys.pread(fd, &mut buf, 0).unwrap())
+        })
+    });
+    group.finish();
+
+    for r in veil_bench::fig4(100) {
+        println!(
+            "[paper Fig.4] {:<7} native {:>7} cyc, enclave {:>7} cyc, {:.1}x (paper band 3.3-7.1x)",
+            r.name,
+            r.native_cycles,
+            r.enclave_cycles,
+            r.slowdown()
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

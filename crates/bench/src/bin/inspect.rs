@@ -1,0 +1,97 @@
+//! `inspect` — boots a Veil CVM and dumps its security state: memory
+//! map, per-region VMPL permissions, domain/VMSA table, and boot stats.
+//!
+//! Usage: `cargo run -p veil-bench --bin inspect [--frames N] [--vcpus N]`
+
+use veil_services::CvmBuilder;
+use veil_snp::perms::Vmpl;
+use veil_snp::rmp::PageState;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let frames = get("--frames", 4096);
+    let vcpus = get("--vcpus", 2) as u32;
+
+    let cvm = CvmBuilder::new().frames(frames).vcpus(vcpus).build().expect("boot");
+    let layout = &cvm.gate.monitor.layout;
+    let m = &cvm.hv.machine;
+
+    println!("Veil CVM — {frames} frames ({} MiB), {vcpus} VCPUs", frames * 4096 / (1 << 20));
+    println!(
+        "launch measurement: {}",
+        veil_crypto::sha256::hex(&m.launch_measurement().expect("measured"))
+    );
+    let bs = &cvm.gate.monitor.boot_stats;
+    println!(
+        "boot: {} pages validated, {} RMPADJUSTs, {} replica VMSAs, {} cycles\n",
+        bs.pages_validated, bs.rmpadjusts, bs.vmsas_created, bs.cycles
+    );
+
+    println!("{:<14} {:>8} {:>8}  {:<7} {:<7} {:<7} {:<7}", "region", "start", "frames", "VMPL0", "VMPL1", "VMPL2", "VMPL3");
+    let regions: Vec<(&str, std::ops::Range<u64>)> = vec![
+        ("mon image", layout.mon_image.clone()),
+        ("ser image", layout.ser_image.clone()),
+        ("boot VMSA", layout.boot_vmsa..layout.boot_vmsa + 1),
+        ("mon pool", layout.mon_pool.clone()),
+        ("ser pool", layout.ser_pool.clone()),
+        ("log storage", layout.log_storage.clone()),
+        ("IDCB", layout.idcb.clone()),
+        ("kernel text", layout.kernel_text.clone()),
+        ("kernel data", layout.kernel_data.clone()),
+        ("kernel pool", layout.kernel_pool.clone()),
+        ("shared", layout.shared.clone()),
+    ];
+    for (name, range) in regions {
+        let gfn = range.start;
+        let entry = m.rmp().entry(gfn).expect("in range");
+        let perm = |v: Vmpl| -> String {
+            match entry.state() {
+                PageState::Shared => "shared".into(),
+                PageState::AssignedUnvalidated => "unval".into(),
+                PageState::Validated => {
+                    if entry.is_vmsa() {
+                        "VMSA".into()
+                    } else {
+                        format!("{}", entry.perms(v)).replace("VmplPerms(", "").replace(')', "")
+                    }
+                }
+            }
+        };
+        println!(
+            "{:<14} {:>8} {:>8}  {:<7} {:<7} {:<7} {:<7}",
+            name,
+            format!("{:#x}", range.start),
+            range.end - range.start,
+            perm(Vmpl::Vmpl0),
+            perm(Vmpl::Vmpl1),
+            perm(Vmpl::Vmpl2),
+            perm(Vmpl::Vmpl3),
+        );
+    }
+
+    println!("\nVCPU replica table (hypervisor view):");
+    for vcpu in 0..vcpus {
+        if let Some(svm) = cvm.hv.vcpu(vcpu) {
+            let domains: Vec<String> = svm
+                .domain_vmsas
+                .iter()
+                .map(|(vmpl, gfn)| format!("{vmpl}@{gfn:#x}"))
+                .collect();
+            println!("  vcpu {vcpu}: current {} | {}", svm.current_vmpl, domains.join("  "));
+        }
+    }
+
+    println!("\nVMSA frames live: {}", m.vmsa_gfns().len());
+    println!(
+        "cycle account: {} total ({:.3} simulated seconds)",
+        m.cycles().total(),
+        m.cycles().seconds()
+    );
+}

@@ -1,0 +1,20 @@
+//! The evaluation harness: one function per paper table/figure.
+//!
+//! Every experiment returns structured rows so three consumers share the
+//! same code: the `reproduce` binary (prints paper-style tables), the
+//! Criterion benches (`benches/`), and the regression tests. Paper
+//! reference values are embedded next to each experiment so EXPERIMENTS.md
+//! can be regenerated mechanically.
+//!
+//! Scaling: the paper's testbed runs minutes of wall-clock work; the
+//! simulation charges deterministic cycles, so experiments use scaled
+//! operation counts (documented per experiment) and report *relative*
+//! quantities — overheads, ratios, crossover shapes — which are
+//! scale-invariant in this model once per-op costs dominate fixed costs.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::*;

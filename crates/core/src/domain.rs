@@ -1,0 +1,130 @@
+//! Dual-factor privilege domains (§5.1).
+//!
+//! A *privilege domain* is a mode of execution formed by combining a VMPL
+//! with a protection ring. Veil uses four; the table mirrors Fig. 2:
+//!
+//! | Domain    | VMPL | CPL   | Occupant                      |
+//! |-----------|------|-------|-------------------------------|
+//! | `Dom_MON` | 0    | 0     | VeilMon                       |
+//! | `Dom_SER` | 1    | 0     | protected services            |
+//! | `Dom_ENC` | 2    | 3     | enclaves                      |
+//! | `Dom_UNT` | 3    | 0/3   | OS kernel and its processes   |
+
+use veil_snp::perms::{Cpl, Vmpl};
+
+/// One of Veil's four privilege domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Domain {
+    /// VeilMon: VMPL-0 + CPL-0.
+    Mon,
+    /// Protected services: VMPL-1 + CPL-0.
+    Ser,
+    /// Enclaves: VMPL-2 + CPL-3.
+    Enc,
+    /// The untrusted OS and applications: VMPL-3.
+    Unt,
+}
+
+impl Domain {
+    /// All domains, most privileged first.
+    pub const ALL: [Domain; 4] = [Domain::Mon, Domain::Ser, Domain::Enc, Domain::Unt];
+
+    /// The VMPL component.
+    pub fn vmpl(self) -> Vmpl {
+        match self {
+            Domain::Mon => Vmpl::Vmpl0,
+            Domain::Ser => Vmpl::Vmpl1,
+            Domain::Enc => Vmpl::Vmpl2,
+            Domain::Unt => Vmpl::Vmpl3,
+        }
+    }
+
+    /// The ring the domain's occupant executes at. `Dom_UNT` hosts both
+    /// rings; its *kernel* ring is reported here.
+    pub fn cpl(self) -> Cpl {
+        match self {
+            Domain::Mon | Domain::Ser | Domain::Unt => Cpl::Cpl0,
+            Domain::Enc => Cpl::Cpl3,
+        }
+    }
+
+    /// Maps a VMPL back to its domain.
+    pub fn from_vmpl(vmpl: Vmpl) -> Domain {
+        match vmpl {
+            Vmpl::Vmpl0 => Domain::Mon,
+            Vmpl::Vmpl1 => Domain::Ser,
+            Vmpl::Vmpl2 => Domain::Enc,
+            Vmpl::Vmpl3 => Domain::Unt,
+        }
+    }
+
+    /// Whether software in `self` may configure memory permissions for
+    /// `other` (strictly-more-privileged VMPL, the `RMPADJUST` rule).
+    pub fn may_configure(self, other: Domain) -> bool {
+        self.vmpl().dominates(other.vmpl())
+    }
+
+    /// Symbolic entry address for this domain's software, used as the
+    /// `rip` placed into replicated VMSAs. Purely symbolic: the simulated
+    /// software is Rust code, but keeping distinct entry addresses lets
+    /// tests assert which domain a VMSA would resume into.
+    pub fn entry_rip(self) -> u64 {
+        match self {
+            Domain::Mon => 0xffff_a000_0000,
+            Domain::Ser => 0xffff_b000_0000,
+            Domain::Enc => 0x0000_5000_0000,
+            Domain::Unt => 0xffff_8000_0000,
+        }
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Domain::Mon => "Dom_MON",
+            Domain::Ser => "Dom_SER",
+            Domain::Enc => "Dom_ENC",
+            Domain::Unt => "Dom_UNT",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        assert_eq!(Domain::Mon.vmpl(), Vmpl::Vmpl0);
+        assert_eq!(Domain::Mon.cpl(), Cpl::Cpl0);
+        assert_eq!(Domain::Ser.vmpl(), Vmpl::Vmpl1);
+        assert_eq!(Domain::Enc.vmpl(), Vmpl::Vmpl2);
+        assert_eq!(Domain::Enc.cpl(), Cpl::Cpl3);
+        assert_eq!(Domain::Unt.vmpl(), Vmpl::Vmpl3);
+    }
+
+    #[test]
+    fn configuration_hierarchy() {
+        assert!(Domain::Mon.may_configure(Domain::Unt));
+        assert!(Domain::Mon.may_configure(Domain::Ser));
+        assert!(Domain::Ser.may_configure(Domain::Enc));
+        assert!(!Domain::Unt.may_configure(Domain::Enc));
+        assert!(!Domain::Enc.may_configure(Domain::Enc));
+    }
+
+    #[test]
+    fn vmpl_roundtrip() {
+        for d in Domain::ALL {
+            assert_eq!(Domain::from_vmpl(d.vmpl()), d);
+        }
+    }
+
+    #[test]
+    fn entry_rips_distinct() {
+        let mut rips: Vec<u64> = Domain::ALL.iter().map(|d| d.entry_rip()).collect();
+        rips.sort_unstable();
+        rips.dedup();
+        assert_eq!(rips.len(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! The kernel→monitor gate: IDCB transcription + hypervisor-relayed
+//! domain switch + trusted-side dispatch (§5.2, Fig. 3).
+//!
+//! This is the concrete [`MonitorChannel`] a Veil CVM gives its kernel.
+//! Every request performs the full Fig. 3 protocol:
+//!
+//! 1. the OS transcribes the request into its per-VCPU IDCB (①);
+//! 2. the OS writes a domain-switch message to its GHCB (②) and exits to
+//!    the hypervisor with `VMGEXIT` (③);
+//! 3. the hypervisor resumes the VCPU from the trusted domain's VMSA
+//!    (④–⑤);
+//! 4. the trusted side reads the IDCB, sanitizes, dispatches (⑥);
+//! 5. the reply path mirrors the request path.
+//!
+//! Architectural delegations (`PVALIDATE`, VCPU boot) terminate in
+//! VeilMon (`Dom_MON`); service requests terminate in `Dom_SER`.
+
+use crate::monitor::Monitor;
+use crate::idcb::Idcb;
+use crate::service::ServiceDispatch;
+use veil_hv::{HvResponse, Hypervisor};
+use veil_os::error::OsError;
+use veil_os::monitor::{MonRequest, MonResponse, MonitorChannel};
+use veil_snp::cost::CostCategory;
+use veil_snp::ghcb::{Ghcb, GhcbExit};
+use veil_snp::perms::Vmpl;
+
+/// The gate: owns VeilMon and the registered service bundle.
+#[derive(Debug)]
+pub struct VeilGate<S> {
+    /// VeilMon.
+    pub monitor: Monitor,
+    /// The protected services (dispatched in `Dom_SER`).
+    pub services: S,
+    seq: u32,
+}
+
+impl<S: ServiceDispatch> VeilGate<S> {
+    /// Builds the gate around an initialized monitor and service bundle.
+    pub fn new(monitor: Monitor, services: S) -> Self {
+        VeilGate { monitor, services, seq: 0 }
+    }
+
+    /// Which trusted domain terminates a request.
+    fn target_vmpl(req: &MonRequest) -> Vmpl {
+        match req {
+            MonRequest::Pvalidate { .. } | MonRequest::CreateVcpu { .. } => Vmpl::Vmpl0,
+            _ => Vmpl::Vmpl1,
+        }
+    }
+
+    /// Performs one hypervisor-relayed switch of `vcpu` to `target`.
+    fn switch(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        from: Vmpl,
+        target: Vmpl,
+    ) -> Result<(), OsError> {
+        let ghcb_gfn = hv
+            .machine
+            .ghcb_msr(vcpu)
+            .ok_or_else(|| OsError::Config("no GHCB registered for vcpu".into()))?;
+        let ghcb = Ghcb::at(&hv.machine, ghcb_gfn)?;
+        ghcb.write_request(
+            &mut hv.machine,
+            from,
+            GhcbExit::DomainSwitch,
+            target.index() as u64,
+            0,
+        )?;
+        match hv.vmgexit(vcpu, false)? {
+            HvResponse::Switched { vmpl, .. } if vmpl == target => Ok(()),
+            HvResponse::Refused { reason } => Err(OsError::MonitorRefused(format!(
+                "hypervisor refused switch to {target}: {reason}"
+            ))),
+            other => Err(OsError::MonitorRefused(format!("unexpected hv response {other:?}"))),
+        }
+    }
+
+    /// Trusted-side dispatch, after the switch landed.
+    fn dispatch(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        req: &MonRequest,
+    ) -> Result<MonResponse, OsError> {
+        match req {
+            MonRequest::Pvalidate { gfn, validate } => {
+                self.monitor.pvalidate_delegate(hv, *gfn, *validate)?;
+                Ok(MonResponse::Ok)
+            }
+            MonRequest::CreateVcpu { vcpu_id, rip, rsp, cr3 } => {
+                let gfn = self.monitor.create_vcpu_delegate(hv, *vcpu_id, *rip, *rsp, *cr3)?;
+                Ok(MonResponse::Value(gfn))
+            }
+            other => {
+                // Generic pointer sanitization for every frame list an OS
+                // request can carry (§8.1), before the service sees it.
+                let gfns: Vec<u64> = match other {
+                    MonRequest::KciModuleLoad { staging_gfns, dest_gfns, .. } => {
+                        staging_gfns.iter().chain(dest_gfns.iter()).copied().collect()
+                    }
+                    MonRequest::KciModuleUnload { text_gfns } => text_gfns.clone(),
+                    MonRequest::EncPageIn { staging_gfn, dest_gfn, .. } => {
+                        vec![*staging_gfn, *dest_gfn]
+                    }
+                    _ => Vec::new(),
+                };
+                self.monitor.sanitize_gfns(&hv.machine, &gfns)?;
+                self.services.dispatch(&mut self.monitor, hv, vcpu, other)
+            }
+        }
+    }
+}
+
+impl<S: ServiceDispatch> MonitorChannel for VeilGate<S> {
+    fn request(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        req: MonRequest,
+    ) -> Result<MonResponse, OsError> {
+        let target = Self::target_vmpl(&req);
+        self.seq = self.seq.wrapping_add(1);
+        let seq = self.seq;
+
+        // ① Transcribe the request into the per-VCPU IDCB. The typed
+        // `MonRequest` travels alongside; the bytes exercise the real
+        // memory path and the copy cost is charged from the wire length.
+        let idcb_gfn = self
+            .monitor
+            .layout
+            .idcb_gfn(vcpu)
+            .ok_or_else(|| OsError::Config(format!("no IDCB for vcpu {vcpu}")))?;
+        let idcb = Idcb::at(idcb_gfn);
+        let wire = format!("{req:?}");
+        let wire_bytes = &wire.as_bytes()[..wire.len().min(Idcb::capacity())];
+        idcb.write_message(&mut hv.machine, Vmpl::Vmpl3, seq, wire_bytes)?;
+        let copy_cost = hv.machine.cost().copy(req.wire_len());
+        hv.machine.charge(CostCategory::KernelService, copy_cost);
+
+        // ②–⑤ Request path switch.
+        self.switch(hv, vcpu, Vmpl::Vmpl3, target)?;
+
+        // ⑥ Trusted side reads the IDCB (charged) and dispatches.
+        let (_seq, _bytes) = idcb.read_message(&hv.machine, target)?;
+        let read_cost = hv.machine.cost().copy(req.wire_len());
+        hv.machine.charge(CostCategory::Other, read_cost);
+        let result = self.dispatch(hv, vcpu, &req);
+
+        // Reply: trusted side acknowledges through the IDCB, then
+        // switches the VCPU back to the OS. The switch back must happen
+        // even when the request failed.
+        let ack: &[u8] = match &result {
+            Ok(_) => b"ok",
+            Err(_) => b"refused",
+        };
+        idcb.write_message(&mut hv.machine, target, seq, ack)?;
+        self.switch(hv, vcpu, target, Vmpl::Vmpl3)?;
+        result
+    }
+
+    fn kernel_vmpl(&self) -> Vmpl {
+        Vmpl::Vmpl3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Layout, LayoutConfig};
+    use crate::service::NoServices;
+    use veil_snp::machine::{Machine, MachineConfig};
+    use veil_snp::mem::gpa_of;
+
+    fn booted_gate() -> (Hypervisor, VeilGate<NoServices>) {
+        let frames = 2048u64;
+        let machine =
+            Machine::new(MachineConfig { frames: frames as usize, ..MachineConfig::default() });
+        let mut hv = Hypervisor::new(machine);
+        let layout = Layout::compute(&LayoutConfig { frames, vcpus: 1, ..LayoutConfig::default() });
+        let image: Vec<(u64, Vec<u8>)> =
+            layout.mon_image.clone().map(|g| (g, vec![0xcc; 64])).collect();
+        hv.launch(&image, layout.boot_vmsa).unwrap();
+        let monitor = Monitor::init(&mut hv, layout, 1).unwrap();
+        // The kernel would register its GHCB at boot; do it here.
+        let ghcb = monitor.layout.kernel_ghcb_gfns(1)[0];
+        hv.machine.set_ghcb_msr(0, ghcb);
+        (hv, VeilGate::new(monitor, NoServices))
+    }
+
+    #[test]
+    fn pvalidate_request_via_full_protocol() {
+        let (mut hv, mut gate) = booted_gate();
+        let fresh = gate.monitor.layout.shared.start + 4;
+        hv.machine.rmp_assign(fresh).unwrap();
+        let before = hv.stats().domain_switches;
+        let resp = gate
+            .request(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true })
+            .unwrap();
+        assert_eq!(resp, MonResponse::Ok);
+        // Two hypervisor-relayed switches: in and out.
+        assert_eq!(hv.stats().domain_switches, before + 2);
+        // Kernel can use the page now.
+        assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(fresh), b"ok").is_ok());
+        // The VCPU ended back in Dom_UNT.
+        assert_eq!(hv.vcpu(0).unwrap().current_vmpl, Vmpl::Vmpl3);
+    }
+
+    #[test]
+    fn refused_request_still_switches_back() {
+        let (mut hv, mut gate) = booted_gate();
+        let protected = gate.monitor.layout.mon_pool.start;
+        let err = gate.request(&mut hv, 0, MonRequest::Pvalidate { gfn: protected, validate: false });
+        assert!(err.is_err());
+        assert_eq!(hv.vcpu(0).unwrap().current_vmpl, Vmpl::Vmpl3);
+    }
+
+    #[test]
+    fn service_requests_rejected_without_services() {
+        let (mut hv, mut gate) = booted_gate();
+        let err = gate.request(&mut hv, 0, MonRequest::LogAppend { record: vec![1, 2, 3] });
+        assert!(matches!(err, Err(OsError::MonitorRefused(_))));
+    }
+
+    #[test]
+    fn malicious_staging_pointer_rejected_by_sanitizer() {
+        let (mut hv, mut gate) = booted_gate();
+        // OS tries to make the "service" write into monitor memory.
+        let evil = gate.monitor.layout.mon_pool.start + 3;
+        let err = gate.request(
+            &mut hv,
+            0,
+            MonRequest::KciModuleLoad {
+                staging_gfns: vec![evil],
+                image_len: 10,
+                dest_gfns: vec![gate.monitor.layout.kernel_pool.start],
+            },
+        );
+        assert!(matches!(err, Err(OsError::MonitorRefused(_))), "{err:?}");
+    }
+
+    #[test]
+    fn switch_cost_matches_paper_constant() {
+        let (mut hv, mut gate) = booted_gate();
+        let fresh = gate.monitor.layout.shared.start + 5;
+        hv.machine.rmp_assign(fresh).unwrap();
+        let snap = hv.machine.cycles().snapshot();
+        gate.request(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true }).unwrap();
+        let delta = hv.machine.cycles().since(&snap);
+        assert_eq!(delta.of(CostCategory::DomainSwitch), 2 * 7135);
+    }
+}

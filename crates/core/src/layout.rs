@@ -1,0 +1,205 @@
+//! CVM guest-physical memory layout.
+//!
+//! The boot flow (§5.1) carves guest memory into regions whose VMPL
+//! permissions VeilMon configures at initialization. Frames in the
+//! `shared` region are never assigned to the guest: they host GHCBs and
+//! bounce buffers.
+
+use std::ops::Range;
+
+/// The memory map, in frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Frame 0 is never used (null-page discipline).
+    pub null: Range<u64>,
+    /// VeilMon's measured boot image (code + initial data).
+    pub mon_image: Range<u64>,
+    /// Protected services' measured image.
+    pub ser_image: Range<u64>,
+    /// The boot VCPU's VMSA frame.
+    pub boot_vmsa: u64,
+    /// VeilMon's private pool: replica VMSAs, cloned page tables,
+    /// enclave metadata.
+    pub mon_pool: Range<u64>,
+    /// Services' private pool (`Dom_SER` memory).
+    pub ser_pool: Range<u64>,
+    /// VeilS-LOG's reserved append-only storage (inside `Dom_SER`).
+    pub log_storage: Range<u64>,
+    /// Per-VCPU OS↔monitor IDCBs — allocated in the *kernel's* memory per
+    /// §5.2 ("IDCBs are allocated in the less privileged domain's memory").
+    pub idcb: Range<u64>,
+    /// Simulated kernel text.
+    pub kernel_text: Range<u64>,
+    /// Simulated kernel static data.
+    pub kernel_data: Range<u64>,
+    /// The kernel's general frame pool.
+    pub kernel_pool: Range<u64>,
+    /// Never-assigned frames (GHCBs, bounce buffers, hotplug source).
+    pub shared: Range<u64>,
+}
+
+/// Tunables for [`Layout::compute`].
+#[derive(Debug, Clone)]
+pub struct LayoutConfig {
+    /// Total guest frames.
+    pub frames: u64,
+    /// VCPU count (sizes the IDCB region).
+    pub vcpus: u32,
+    /// Frames reserved for VeilS-LOG storage.
+    pub log_frames: u64,
+    /// Frames for VeilMon's pool.
+    pub mon_pool_frames: u64,
+    /// Frames for the services pool (excluding log storage).
+    pub ser_pool_frames: u64,
+    /// Frames kept hypervisor-shared.
+    pub shared_frames: u64,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig {
+            frames: 4096,
+            vcpus: 4,
+            log_frames: 64,
+            mon_pool_frames: 160,
+            ser_pool_frames: 64,
+            shared_frames: 32,
+        }
+    }
+}
+
+/// Size of the boot images in frames.
+pub const MON_IMAGE_FRAMES: u64 = 16;
+/// See [`MON_IMAGE_FRAMES`].
+pub const SER_IMAGE_FRAMES: u64 = 16;
+/// Kernel text frames.
+pub const KERNEL_TEXT_FRAMES: u64 = 24;
+/// Kernel data frames.
+pub const KERNEL_DATA_FRAMES: u64 = 16;
+
+impl Layout {
+    /// Computes the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is too small to fit the fixed regions (the
+    /// minimum practical machine is ~1k frames).
+    pub fn compute(config: &LayoutConfig) -> Layout {
+        let mut next = 1u64; // frame 0 = null
+        let mut take = |n: u64| {
+            let r = next..next + n;
+            next += n;
+            r
+        };
+        let mon_image = take(MON_IMAGE_FRAMES);
+        let ser_image = take(SER_IMAGE_FRAMES);
+        let boot_vmsa = take(1).start;
+        let mon_pool = take(config.mon_pool_frames);
+        let ser_pool = take(config.ser_pool_frames);
+        let log_storage = take(config.log_frames);
+        let idcb = take(config.vcpus as u64);
+        let kernel_text = take(KERNEL_TEXT_FRAMES);
+        let kernel_data = take(KERNEL_DATA_FRAMES);
+        assert!(
+            next + config.shared_frames < config.frames,
+            "machine too small: {} frames, need > {}",
+            config.frames,
+            next + config.shared_frames
+        );
+        let kernel_pool = next..config.frames - config.shared_frames;
+        let shared = config.frames - config.shared_frames..config.frames;
+        Layout {
+            null: 0..1,
+            mon_image,
+            ser_image,
+            boot_vmsa,
+            mon_pool,
+            ser_pool,
+            log_storage,
+            idcb,
+            kernel_text,
+            kernel_data,
+            kernel_pool,
+            shared,
+        }
+    }
+
+    /// All frames the guest must validate at boot (everything private).
+    pub fn private_frames(&self) -> Range<u64> {
+        1..self.shared.start
+    }
+
+    /// The IDCB frame for a VCPU.
+    pub fn idcb_gfn(&self, vcpu: u32) -> Option<u64> {
+        let g = self.idcb.start + vcpu as u64;
+        (g < self.idcb.end).then_some(g)
+    }
+
+    /// GHCB frames handed to the kernel: one per VCPU plus two spares
+    /// for hotplugged VCPUs, from the shared region's start.
+    pub fn kernel_ghcb_gfns(&self, vcpus: u32) -> Vec<u64> {
+        (0..vcpus as u64 + 2).map(|i| self.shared.start + i).collect()
+    }
+
+    /// Shared frames reserved for *user-mapped* enclave GHCBs, after the
+    /// kernel GHCBs (including the hotplug spares).
+    pub fn enclave_ghcb_gfns(&self, vcpus: u32, count: u32) -> Vec<u64> {
+        let base = self.shared.start + vcpus as u64 + 2;
+        (0..count as u64).map(|i| base + i).filter(|g| *g < self.shared.end).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let l = Layout::compute(&LayoutConfig::default());
+        let regions = [
+            l.null.clone(),
+            l.mon_image.clone(),
+            l.ser_image.clone(),
+            l.boot_vmsa..l.boot_vmsa + 1,
+            l.mon_pool.clone(),
+            l.ser_pool.clone(),
+            l.log_storage.clone(),
+            l.idcb.clone(),
+            l.kernel_text.clone(),
+            l.kernel_data.clone(),
+            l.kernel_pool.clone(),
+            l.shared.clone(),
+        ];
+        for w in regions.windows(2) {
+            assert!(w[0].end <= w[1].start, "{:?} overlaps {:?}", w[0], w[1]);
+        }
+        assert_eq!(l.shared.end, 4096);
+    }
+
+    #[test]
+    fn idcb_per_vcpu() {
+        let l = Layout::compute(&LayoutConfig::default());
+        assert!(l.idcb_gfn(0).is_some());
+        assert!(l.idcb_gfn(3).is_some());
+        assert_eq!(l.idcb_gfn(4), None);
+    }
+
+    #[test]
+    fn ghcbs_in_shared_region() {
+        let l = Layout::compute(&LayoutConfig::default());
+        for g in l.kernel_ghcb_gfns(4) {
+            assert!(l.shared.contains(&g));
+        }
+        let enc = l.enclave_ghcb_gfns(4, 8);
+        assert_eq!(enc.len(), 8);
+        for g in enc {
+            assert!(l.shared.contains(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "machine too small")]
+    fn too_small_panics() {
+        Layout::compute(&LayoutConfig { frames: 64, ..LayoutConfig::default() });
+    }
+}

@@ -1,0 +1,260 @@
+//! The remote user: attestation verification and the secure channel.
+//!
+//! The paper's trust bootstrap (§5.1): the remote user receives a signed
+//! attestation digest naming the boot-image measurement and the VMPL of
+//! the requesting software. Only a report from VMPL-0 proves it is
+//! talking to VeilMon. The report carries VeilMon's DH public value; the
+//! user completes the exchange and all further traffic (log retrieval,
+//! enclave measurements, user secrets) flows over the authenticated
+//! encrypted channel.
+
+use veil_crypto::{ChaCha20, DhKeyPair, DhPublic, HmacSha256};
+use veil_snp::attest::AttestationReport;
+use veil_snp::perms::Vmpl;
+
+/// Why the remote user rejected an attestation report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestError {
+    /// Device signature invalid.
+    BadSignature,
+    /// The requester was not VMPL-0 (e.g. the OS impersonating VeilMon).
+    WrongVmpl(Vmpl),
+    /// Measurement differs from the user's golden value.
+    WrongMeasurement,
+    /// Report data does not carry the expected DH binding.
+    BadBinding,
+}
+
+impl std::fmt::Display for AttestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestError::BadSignature => write!(f, "invalid device signature"),
+            AttestError::WrongVmpl(v) => write!(f, "report requested from {v}, not VMPL-0"),
+            AttestError::WrongMeasurement => write!(f, "boot image measurement mismatch"),
+            AttestError::BadBinding => write!(f, "DH public value not bound in report"),
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+/// The remote user's verifier state.
+#[derive(Debug)]
+pub struct RemoteUser {
+    device_key: [u8; 32],
+    /// Golden measurement (None = trust-on-first-use).
+    pub expected_measurement: Option<[u8; 32]>,
+    dh: DhKeyPair,
+}
+
+impl RemoteUser {
+    /// A user who knows the device verification key and (optionally) the
+    /// golden boot-image measurement.
+    pub fn new(device_key: [u8; 32], expected_measurement: Option<[u8; 32]>, seed: &[u8; 32]) -> Self {
+        RemoteUser { device_key, expected_measurement, dh: DhKeyPair::from_seed(seed) }
+    }
+
+    /// The user's DH public value (sent to VeilMon to complete the
+    /// channel).
+    pub fn public(&self) -> DhPublic {
+        self.dh.public
+    }
+
+    /// Verifies a report + monitor public value and derives the session.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttestError`] aborts channel establishment.
+    pub fn verify_and_derive(
+        &self,
+        report: &AttestationReport,
+        monitor_public: &DhPublic,
+    ) -> Result<SecureChannel, AttestError> {
+        if !report.verify(&self.device_key) {
+            return Err(AttestError::BadSignature);
+        }
+        if report.vmpl != Vmpl::Vmpl0 {
+            return Err(AttestError::WrongVmpl(report.vmpl));
+        }
+        if let Some(golden) = self.expected_measurement {
+            if report.measurement != golden {
+                return Err(AttestError::WrongMeasurement);
+            }
+        }
+        // The report must bind the DH public value (first 32 bytes of
+        // report_data), preventing a relay that swaps keys.
+        if report.report_data[..32] != monitor_public.0.to_be_bytes() {
+            return Err(AttestError::BadBinding);
+        }
+        Ok(SecureChannel::new(self.dh.agree(monitor_public).0))
+    }
+}
+
+/// Errors from [`SecureChannel::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Authentication tag mismatch (tampering or wrong key).
+    BadTag,
+    /// Message too short to contain a tag.
+    Truncated,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::BadTag => write!(f, "authentication tag mismatch"),
+            ChannelError::Truncated => write!(f, "ciphertext truncated"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// An authenticated encrypted channel (encrypt-then-MAC with ChaCha20 +
+/// HMAC-SHA-256 and per-direction counters).
+#[derive(Debug, Clone)]
+pub struct SecureChannel {
+    enc_key: [u8; 32],
+    mac_key: [u8; 32],
+    send_ctr: u64,
+    recv_ctr: u64,
+}
+
+impl SecureChannel {
+    /// Derives direction keys from the DH shared secret.
+    pub fn new(shared: [u8; 32]) -> Self {
+        SecureChannel {
+            enc_key: HmacSha256::mac(&shared, b"veil-chan-enc"),
+            mac_key: HmacSha256::mac(&shared, b"veil-chan-mac"),
+            send_ctr: 0,
+            recv_ctr: 0,
+        }
+    }
+
+    fn nonce(ctr: u64) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n[..8].copy_from_slice(&ctr.to_le_bytes());
+        n
+    }
+
+    /// Seals a message: `ciphertext || tag(32)`.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let nonce = Self::nonce(self.send_ctr);
+        let mut ct = plaintext.to_vec();
+        ChaCha20::new(&self.enc_key).apply_keystream(&nonce, 1, &mut ct);
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&nonce);
+        mac.update(&ct);
+        ct.extend_from_slice(&mac.finalize());
+        self.send_ctr += 1;
+        ct
+    }
+
+    /// Opens a sealed message.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError`] on truncation or tag mismatch; the receive
+    /// counter only advances on success (replays fail).
+    pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if sealed.len() < 32 {
+            return Err(ChannelError::Truncated);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - 32);
+        let nonce = Self::nonce(self.recv_ctr);
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&nonce);
+        mac.update(ct);
+        if !veil_crypto::ct::eq(&mac.finalize(), tag) {
+            return Err(ChannelError::BadTag);
+        }
+        let mut pt = ct.to_vec();
+        ChaCha20::new(&self.enc_key).apply_keystream(&nonce, 1, &mut pt);
+        self.recv_ctr += 1;
+        Ok(pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veil_snp::attest::AttestationReport;
+
+    const DEVICE_KEY: [u8; 32] = [0xd0; 32];
+
+    fn report_with(vmpl: Vmpl, dh_pub: &DhPublic, measurement: [u8; 32]) -> AttestationReport {
+        let mut data = [0u8; 64];
+        data[..32].copy_from_slice(&dh_pub.0.to_be_bytes());
+        AttestationReport::sign(&DEVICE_KEY, measurement, vmpl, data)
+    }
+
+    #[test]
+    fn happy_path_channel() {
+        let monitor_dh = DhKeyPair::from_seed(&[1; 32]);
+        let user = RemoteUser::new(DEVICE_KEY, Some([7; 32]), &[2; 32]);
+        let report = report_with(Vmpl::Vmpl0, &monitor_dh.public, [7; 32]);
+        let mut user_chan = user.verify_and_derive(&report, &monitor_dh.public).unwrap();
+        // Monitor side derives the mirror channel.
+        let mut mon_chan = SecureChannel::new(monitor_dh.agree(&user.public()).0);
+        let sealed = mon_chan.seal(b"audit log batch #1");
+        assert_eq!(user_chan.open(&sealed).unwrap(), b"audit log batch #1");
+    }
+
+    #[test]
+    fn os_impersonation_detected() {
+        let dh = DhKeyPair::from_seed(&[1; 32]);
+        let user = RemoteUser::new(DEVICE_KEY, None, &[2; 32]);
+        let report = report_with(Vmpl::Vmpl3, &dh.public, [7; 32]);
+        assert_eq!(
+            user.verify_and_derive(&report, &dh.public).unwrap_err(),
+            AttestError::WrongVmpl(Vmpl::Vmpl3)
+        );
+    }
+
+    #[test]
+    fn wrong_measurement_detected() {
+        let dh = DhKeyPair::from_seed(&[1; 32]);
+        let user = RemoteUser::new(DEVICE_KEY, Some([7; 32]), &[2; 32]);
+        let report = report_with(Vmpl::Vmpl0, &dh.public, [8; 32]);
+        assert_eq!(
+            user.verify_and_derive(&report, &dh.public).unwrap_err(),
+            AttestError::WrongMeasurement
+        );
+    }
+
+    #[test]
+    fn swapped_dh_key_detected() {
+        let dh = DhKeyPair::from_seed(&[1; 32]);
+        let mitm = DhKeyPair::from_seed(&[6; 32]);
+        let user = RemoteUser::new(DEVICE_KEY, None, &[2; 32]);
+        let report = report_with(Vmpl::Vmpl0, &dh.public, [7; 32]);
+        assert_eq!(
+            user.verify_and_derive(&report, &mitm.public).unwrap_err(),
+            AttestError::BadBinding
+        );
+    }
+
+    #[test]
+    fn channel_detects_tampering_and_replay() {
+        let mut a = SecureChannel::new([3; 32]);
+        let mut b = SecureChannel::new([3; 32]);
+        let mut sealed = a.seal(b"records");
+        // Tamper.
+        sealed[0] ^= 1;
+        assert_eq!(b.open(&sealed), Err(ChannelError::BadTag));
+        sealed[0] ^= 1;
+        assert_eq!(b.open(&sealed).unwrap(), b"records");
+        // Replay of the same sealed message fails (counter advanced).
+        assert_eq!(b.open(&sealed), Err(ChannelError::BadTag));
+        // Truncated.
+        assert_eq!(b.open(&sealed[..10]), Err(ChannelError::Truncated));
+    }
+
+    #[test]
+    fn channel_is_confidential() {
+        let mut a = SecureChannel::new([3; 32]);
+        let sealed = a.seal(b"top secret log line");
+        // Ciphertext must not contain the plaintext.
+        assert!(!sealed.windows(10).any(|w| w == b"top secret"));
+    }
+}

@@ -1,0 +1,152 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! VeilS-ENC seals swapped-out enclave pages by encrypting them with a
+//! per-enclave key and a per-page nonce derived from the freshness counter
+//! (§6.2). ChaCha20 was chosen for the simulation because it is compact,
+//! fast in pure safe Rust, and has unambiguous published test vectors.
+
+/// ChaCha20 cipher instance bound to one key.
+///
+/// # Example
+///
+/// ```
+/// use veil_crypto::chacha20::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let cipher = ChaCha20::new(&key);
+/// let mut buf = *b"secret enclave page";
+/// cipher.apply_keystream(&nonce, 0, &mut buf);
+/// assert_ne!(&buf, b"secret enclave page");
+/// cipher.apply_keystream(&nonce, 0, &mut buf);
+/// assert_eq!(&buf, b"secret enclave page");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key_words: [u32; 8],
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        let mut key_words = [0u32; 8];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            key_words[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha20 { key_words }
+    }
+
+    /// XORs the keystream for (`nonce`, starting block `counter`) into `data`.
+    ///
+    /// Applying the same call twice round-trips (encryption == decryption).
+    pub fn apply_keystream(&self, nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
+        let mut block_counter = counter;
+        for chunk in data.chunks_mut(64) {
+            let ks = self.block(nonce, block_counter);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            block_counter = block_counter.wrapping_add(1);
+        }
+    }
+
+    /// Produces one 64-byte keystream block.
+    pub fn block(&self, nonce: &[u8; 12], counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key_words);
+        state[12] = counter;
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            state[13 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key);
+        let block = cipher.block(&nonce, 1);
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(hex(&block[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key);
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        cipher.apply_keystream(&nonce, 1, &mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let cipher = ChaCha20::new(&[0x42; 32]);
+        for len in [0usize, 1, 63, 64, 65, 128, 4096] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+            let mut buf = original.clone();
+            cipher.apply_keystream(&[1; 12], 7, &mut buf);
+            if len > 0 {
+                assert_ne!(buf, original, "len {len} should be scrambled");
+            }
+            cipher.apply_keystream(&[1; 12], 7, &mut buf);
+            assert_eq!(buf, original, "len {len} should round-trip");
+        }
+    }
+
+    #[test]
+    fn distinct_nonces_give_distinct_streams() {
+        let cipher = ChaCha20::new(&[5; 32]);
+        let a = cipher.block(&[0; 12], 0);
+        let b = cipher.block(&[1; 12], 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,47 @@
+//! Constant-time comparison helpers.
+//!
+//! Signature and MAC verification inside VeilMon must not leak how many
+//! prefix bytes matched; every comparison of secret-derived material in the
+//! workspace goes through [`eq`].
+
+/// Compares two byte slices in constant time (with respect to contents).
+///
+/// Returns `false` immediately when lengths differ — length is not secret
+/// for any Veil use (tags and digests are fixed-size).
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Constant-time conditional select: returns `a` when `choice` is true.
+#[must_use]
+pub fn select_u64(choice: bool, a: u64, b: u64) -> u64 {
+    let mask = (choice as u64).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(eq(b"", b""));
+    }
+
+    #[test]
+    fn select_picks_correctly() {
+        assert_eq!(select_u64(true, 7, 9), 7);
+        assert_eq!(select_u64(false, 7, 9), 9);
+    }
+}

@@ -1,0 +1,257 @@
+//! Finite-field Diffie–Hellman over a 256-bit prime field.
+//!
+//! After SEV remote attestation, the remote user establishes a shared secret
+//! with VeilMon (§5.1: "information to establish a Diffie-Hellman shared
+//! key" is carried in the attestation digest). This module provides that
+//! exchange for the simulation.
+//!
+//! The group is `Z_p^*` with `p = 2^256 - 189` (the largest 256-bit prime,
+//! whose special form makes reduction cheap) and generator `g = 7`. These
+//! are simulation-grade parameters: the protocol structure is faithful, but
+//! a production deployment would use an RFC 7919 group or X25519.
+
+use crate::hmac::HmacSha256;
+
+/// 256-bit unsigned integer stored as four little-endian u64 limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+/// The prime modulus `2^256 - 189`.
+pub const P: U256 = U256([u64::MAX - 188, u64::MAX, u64::MAX, u64::MAX]);
+
+/// Reduction constant: `2^256 ≡ 189 (mod p)`.
+const FOLD: u64 = 189;
+
+/// The group generator.
+pub const G: U256 = U256([7, 0, 0, 0]);
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Builds a value from 32 big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[(3 - i) * 8..(4 - i) * 8]);
+            limbs[i] = u64::from_be_bytes(chunk);
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[(3 - i) * 8..(4 - i) * 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    fn add_with_carry(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (a, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (b, c2) = a.overflowing_add(carry as u64);
+            out[i] = b;
+            carry = c1 || c2;
+        }
+        (U256(out), carry)
+    }
+
+    fn sub_with_borrow(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (a, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (b, b2) = a.overflowing_sub(borrow as u64);
+            out[i] = b;
+            borrow = b1 || b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Modular addition in `Z_p`.
+    pub fn add_mod(self, rhs: U256) -> U256 {
+        let (sum, carry) = self.add_with_carry(rhs);
+        let mut r = sum;
+        if carry {
+            // sum + 2^256 ≡ sum + FOLD (mod p)
+            let (folded, c2) = r.add_with_carry(U256([FOLD, 0, 0, 0]));
+            r = folded;
+            debug_assert!(!c2);
+        }
+        if r >= P {
+            r = r.sub_with_borrow(P).0;
+        }
+        r
+    }
+
+    /// Modular multiplication in `Z_p` using the special form of `p`.
+    pub fn mul_mod(self, rhs: U256) -> U256 {
+        // Schoolbook 4x4 limb multiply into 8 limbs.
+        let mut wide = [0u128; 8];
+        for i in 0..4 {
+            for j in 0..4 {
+                wide[i + j] += (self.0[i] as u128) * (rhs.0[j] as u128);
+                // Normalize eagerly so wide[] never overflows u128: after
+                // adding, propagate anything above 64 bits.
+                let carry = wide[i + j] >> 64;
+                wide[i + j] &= (1u128 << 64) - 1;
+                wide[i + j + 1] += carry;
+            }
+        }
+        let lo = U256([wide[0] as u64, wide[1] as u64, wide[2] as u64, wide[3] as u64]);
+        let hi = U256([wide[4] as u64, wide[5] as u64, wide[6] as u64, wide[7] as u64]);
+        // x = hi*2^256 + lo ≡ hi*FOLD + lo (mod p). hi*FOLD fits in 256+8
+        // bits, so one more fold of its (tiny) overflow finishes the job.
+        let (hi_folded, overflow) = hi.mul_small(FOLD);
+        let mut r = lo.add_mod(hi_folded);
+        if overflow > 0 {
+            // overflow * 2^256 ≡ overflow * FOLD (mod p); overflow ≤ 188.
+            r = r.add_mod(U256([overflow * FOLD, 0, 0, 0]));
+        }
+        r
+    }
+
+    /// Multiplies by a small constant, returning (low 256 bits, overflow limb).
+    fn mul_small(self, k: u64) -> (U256, u64) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u128;
+        for i in 0..4 {
+            let v = (self.0[i] as u128) * (k as u128) + carry;
+            out[i] = v as u64;
+            carry = v >> 64;
+        }
+        (U256(out), carry as u64)
+    }
+
+    /// Modular exponentiation `self^exp mod p` (square-and-multiply).
+    pub fn pow_mod(self, exp: U256) -> U256 {
+        let mut result = U256::ONE;
+        let mut base = self;
+        if base >= P {
+            base = base.sub_with_borrow(P).0;
+        }
+        for limb_idx in 0..4 {
+            let limb = exp.0[limb_idx];
+            for bit in 0..64 {
+                if (limb >> bit) & 1 == 1 {
+                    result = result.mul_mod(base);
+                }
+                base = base.mul_mod(base);
+            }
+        }
+        result
+    }
+}
+
+/// A DH public value (`g^x mod p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DhPublic(pub U256);
+
+/// A DH shared secret, post-processed through HMAC for key derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DhSharedSecret(pub [u8; 32]);
+
+/// A DH key pair.
+#[derive(Debug, Clone)]
+pub struct DhKeyPair {
+    secret: U256,
+    /// The public value to send to the peer.
+    pub public: DhPublic,
+}
+
+impl DhKeyPair {
+    /// Derives a key pair from 32 bytes of secret entropy.
+    ///
+    /// The caller supplies entropy (e.g. from [`crate::drbg::Drbg`]); this
+    /// keeps the crate deterministic and dependency-free.
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        let mut secret = U256::from_be_bytes(seed);
+        // Clamp away degenerate exponents.
+        if secret == U256::ZERO || secret == U256::ONE {
+            secret = U256([0x1337, 0, 0, 0]);
+        }
+        let public = DhPublic(G.pow_mod(secret));
+        DhKeyPair { secret, public }
+    }
+
+    /// Computes the shared secret with a peer's public value.
+    ///
+    /// The raw group element is run through HMAC-SHA-256 (keyed with a
+    /// domain-separation label) to produce a uniform 32-byte key.
+    pub fn agree(&self, peer: &DhPublic) -> DhSharedSecret {
+        let raw = peer.0.pow_mod(self.secret);
+        DhSharedSecret(HmacSha256::mac(b"veil-dh-kdf-v1", &raw.to_be_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arith_sanity() {
+        let a = U256([5, 0, 0, 0]);
+        let b = U256([7, 0, 0, 0]);
+        assert_eq!(a.mul_mod(b), U256([35, 0, 0, 0]));
+        assert_eq!(a.add_mod(b), U256([12, 0, 0, 0]));
+    }
+
+    #[test]
+    fn add_wraps_at_modulus() {
+        let p_minus_1 = P.sub_with_borrow(U256::ONE).0;
+        assert_eq!(p_minus_1.add_mod(U256::ONE), U256::ZERO);
+        assert_eq!(p_minus_1.add_mod(U256([2, 0, 0, 0])), U256::ONE);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) ≡ 1 (mod p) for prime p — a strong correctness check for
+        // mul_mod/pow_mod over random-ish bases.
+        let p_minus_1 = P.sub_with_borrow(U256::ONE).0;
+        for base in [2u64, 3, 7, 0xdeadbeef, 0x1234_5678_9abc_def0] {
+            let b = U256([base, 1, 2, 3]);
+            assert_eq!(b.pow_mod(p_minus_1), U256::ONE, "base {base}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_naive_for_small_exponents() {
+        let base = U256([0xabcdef, 0, 0, 0]);
+        let mut acc = U256::ONE;
+        for e in 0u64..20 {
+            assert_eq!(base.pow_mod(U256([e, 0, 0, 0])), acc, "exp {e}");
+            acc = acc.mul_mod(base);
+        }
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let alice = DhKeyPair::from_seed(&[1; 32]);
+        let bob = DhKeyPair::from_seed(&[2; 32]);
+        assert_eq!(alice.agree(&bob.public), bob.agree(&alice.public));
+        let eve = DhKeyPair::from_seed(&[3; 32]);
+        assert_ne!(alice.agree(&bob.public), eve.agree(&alice.public));
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let v = U256([1, 2, 3, 4]);
+        assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn mul_mod_commutes_and_associates() {
+        let a = U256([u64::MAX, 12345, u64::MAX, 777]);
+        let b = U256([42, u64::MAX, 0, u64::MAX]);
+        let c = U256([9, 9, 9, 9]);
+        assert_eq!(a.mul_mod(b), b.mul_mod(a));
+        assert_eq!(a.mul_mod(b).mul_mod(c), a.mul_mod(b.mul_mod(c)));
+    }
+}

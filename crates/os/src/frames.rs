@@ -1,0 +1,111 @@
+//! Physical-frame allocator.
+//!
+//! The kernel owns a pool of validated guest frames handed over by VeilMon
+//! at boot. Growing the pool (accepting pages from the hypervisor) requires
+//! a `PVALIDATE`, which under Veil is delegated to the monitor (§5.3) — see
+//! [`crate::kernel::Kernel::accept_page`].
+
+use crate::error::OsError;
+
+/// A free-list frame allocator over a contiguous gfn range.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    free: Vec<u64>,
+    total: usize,
+}
+
+impl FrameAllocator {
+    /// Builds an allocator owning `[start_gfn, end_gfn)`.
+    pub fn new(start_gfn: u64, end_gfn: u64) -> Self {
+        let free: Vec<u64> = (start_gfn..end_gfn).rev().collect();
+        let total = free.len();
+        FrameAllocator { free, total }
+    }
+
+    /// An allocator with no frames (grown later).
+    pub fn empty() -> Self {
+        FrameAllocator { free: Vec::new(), total: 0 }
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::OutOfFrames`] when the pool is empty.
+    pub fn alloc(&mut self) -> Result<u64, OsError> {
+        self.free.pop().ok_or(OsError::OutOfFrames)
+    }
+
+    /// Allocates `n` frames (all-or-nothing).
+    pub fn alloc_n(&mut self, n: usize) -> Result<Vec<u64>, OsError> {
+        if self.free.len() < n {
+            return Err(OsError::OutOfFrames);
+        }
+        Ok(self.free.split_off(self.free.len() - n))
+    }
+
+    /// Returns a frame to the pool.
+    pub fn free(&mut self, gfn: u64) {
+        debug_assert!(!self.free.contains(&gfn), "double free of frame {gfn:#x}");
+        self.free.push(gfn);
+    }
+
+    /// Adds a newly-accepted frame to the pool (hotplug/ballooning).
+    pub fn donate(&mut self, gfn: u64) {
+        self.total += 1;
+        self.free.push(gfn);
+    }
+
+    /// Frames currently free.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Frames ever owned.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut a = FrameAllocator::new(10, 14);
+        assert_eq!(a.available(), 4);
+        let f1 = a.alloc().unwrap();
+        assert_eq!(f1, 10, "allocates from the low end");
+        let f2 = a.alloc().unwrap();
+        assert_ne!(f1, f2);
+        a.free(f1);
+        assert_eq!(a.available(), 3);
+    }
+
+    #[test]
+    fn alloc_n_all_or_nothing() {
+        let mut a = FrameAllocator::new(0, 4);
+        assert!(a.alloc_n(5).is_err());
+        assert_eq!(a.available(), 4, "failed bulk alloc must not consume");
+        let got = a.alloc_n(3).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(a.available(), 1);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut a = FrameAllocator::new(0, 1);
+        a.alloc().unwrap();
+        assert!(matches!(a.alloc(), Err(OsError::OutOfFrames)));
+    }
+
+    #[test]
+    fn donation_grows_pool() {
+        let mut a = FrameAllocator::empty();
+        assert_eq!(a.total(), 0);
+        a.donate(42);
+        assert_eq!(a.alloc().unwrap(), 42);
+        assert_eq!(a.total(), 1);
+    }
+}

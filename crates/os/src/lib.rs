@@ -1,0 +1,44 @@
+//! A commodity operating-system kernel for the simulated CVM.
+//!
+//! Veil's point is that users deploy *commodity* kernels (Linux) inside
+//! CVMs, and those kernels are too large to trust. This crate plays the
+//! commodity kernel: processes with real page tables in guest memory, an
+//! in-memory VFS, loopback sockets, a Linux-flavoured syscall surface,
+//! signed loadable modules, and a kaudit-style audit framework.
+//!
+//! The paper patches Linux in exactly four places (§7); the same four hook
+//! points exist here:
+//!
+//! 1. `PVALIDATE` redirection to VeilMon (§5.3) — [`monitor::MonitorChannel::request`]
+//!    with [`monitor::MonRequest::Pvalidate`], issued by the frame-pool
+//!    grow path.
+//! 2. VCPU-boot delegation (§5.3) — [`monitor::MonRequest::CreateVcpu`]
+//!    from [`kernel::Kernel::hotplug_vcpu`].
+//! 3. kaudit's `audit_log_end` hook (§6.3) — [`audit::AuditMode::VeilLog`].
+//! 4. `load_module`/`free_module` hooks (§6.1) —
+//!    [`kernel::Kernel::load_module`]/[`kernel::Kernel::unload_module`].
+//!
+//! Under Veil the kernel executes at `Dom_UNT` (VMPL-3); in the *native
+//! CVM* baseline it runs at VMPL-0 with a [`monitor::NativeMonitor`] that
+//! performs the privileged operations directly. The delta between those two
+//! configurations is what §9.1's "background system impact" measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod error;
+pub mod frames;
+pub mod kernel;
+pub mod module;
+pub mod monitor;
+pub mod process;
+pub mod socket;
+pub mod sys;
+pub mod syscall;
+pub mod vfs;
+
+pub use error::{Errno, OsError};
+pub use kernel::{Kernel, KernelConfig};
+pub use monitor::{MonRequest, MonResponse, MonitorChannel, NativeMonitor};
+pub use sys::{Fd, OpenFlags, Sys, SysStat};

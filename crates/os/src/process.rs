@@ -1,0 +1,150 @@
+//! Processes, file descriptors, and address spaces.
+
+use crate::error::Errno;
+use crate::socket::SockId;
+use crate::vfs::Ino;
+use std::collections::BTreeMap;
+use veil_snp::pt::AddressSpace;
+
+/// Process identifier.
+pub type Pid = u32;
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone)]
+pub enum FdEntry {
+    /// Open regular file.
+    File {
+        /// Backing inode.
+        ino: Ino,
+        /// Current offset.
+        offset: usize,
+        /// Opened for writing.
+        writable: bool,
+        /// Append mode.
+        append: bool,
+    },
+    /// Socket endpoint.
+    Socket(SockId),
+    /// Console (stdout/stderr).
+    Console,
+}
+
+/// One memory-mapped region created by `mmap`.
+#[derive(Debug, Clone)]
+pub struct MmapRegion {
+    /// Length in bytes (page-rounded).
+    pub len: usize,
+    /// Frames backing the region, in virtual order.
+    pub frames: Vec<u64>,
+}
+
+/// Kernel-side process state.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Numeric user id (for setuid-family syscalls and audit records).
+    pub uid: u32,
+    /// Page tables (present for processes with simulated memory).
+    pub aspace: Option<AddressSpace>,
+    /// Open descriptors.
+    pub fds: BTreeMap<i32, FdEntry>,
+    next_fd: i32,
+    /// Next free mmap address (grows upward from the mmap base).
+    pub mmap_cursor: u64,
+    /// Live mmap regions keyed by base address.
+    pub mmaps: BTreeMap<u64, MmapRegion>,
+    /// Enclave installed in this process, if any.
+    pub enclave_id: Option<u64>,
+    /// The user-mapped per-thread GHCB frame (enclave processes, §6.2).
+    pub user_ghcb_gfn: Option<u64>,
+}
+
+/// Base virtual address for mmap allocations.
+pub const MMAP_BASE: u64 = 0x7f00_0000_0000 >> 16; // keep within 48-bit model
+/// Base virtual address where enclaves are installed.
+pub const ENCLAVE_BASE: u64 = 0x5000_0000;
+
+impl Process {
+    /// Fresh process with std fds 0/1/2 wired to the console.
+    pub fn new(pid: Pid) -> Self {
+        let mut fds = BTreeMap::new();
+        fds.insert(0, FdEntry::Console);
+        fds.insert(1, FdEntry::Console);
+        fds.insert(2, FdEntry::Console);
+        Process {
+            pid,
+            uid: 0,
+            aspace: None,
+            fds,
+            next_fd: 3,
+            mmap_cursor: MMAP_BASE,
+            mmaps: BTreeMap::new(),
+            enclave_id: None,
+            user_ghcb_gfn: None,
+        }
+    }
+
+    /// Installs `entry` at the lowest free descriptor ≥ 3.
+    pub fn install_fd(&mut self, entry: FdEntry) -> i32 {
+        let fd = self.next_fd;
+        self.fds.insert(fd, entry);
+        self.next_fd += 1;
+        fd
+    }
+
+    /// Installs `entry` at a specific descriptor (dup2), closing any
+    /// previous occupant.
+    pub fn install_fd_at(&mut self, fd: i32, entry: FdEntry) {
+        self.fds.insert(fd, entry);
+        if fd >= self.next_fd {
+            self.next_fd = fd + 1;
+        }
+    }
+
+    /// Looks up a descriptor.
+    pub fn fd(&self, fd: i32) -> Result<&FdEntry, Errno> {
+        self.fds.get(&fd).ok_or(Errno::EBADF)
+    }
+
+    /// Mutable descriptor lookup.
+    pub fn fd_mut(&mut self, fd: i32) -> Result<&mut FdEntry, Errno> {
+        self.fds.get_mut(&fd).ok_or(Errno::EBADF)
+    }
+
+    /// Removes a descriptor, returning its entry.
+    pub fn remove_fd(&mut self, fd: i32) -> Result<FdEntry, Errno> {
+        self.fds.remove(&fd).ok_or(Errno::EBADF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_fds_preinstalled() {
+        let p = Process::new(1);
+        assert!(matches!(p.fd(0), Ok(FdEntry::Console)));
+        assert!(matches!(p.fd(2), Ok(FdEntry::Console)));
+        assert_eq!(p.fd(3).unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn fd_allocation_monotonic() {
+        let mut p = Process::new(1);
+        let a = p.install_fd(FdEntry::Console);
+        let b = p.install_fd(FdEntry::Console);
+        assert_eq!((a, b), (3, 4));
+        p.remove_fd(3).unwrap();
+        // Simple allocator does not reuse (documented behaviour).
+        assert_eq!(p.install_fd(FdEntry::Console), 5);
+    }
+
+    #[test]
+    fn install_at_advances_next() {
+        let mut p = Process::new(1);
+        p.install_fd_at(10, FdEntry::Console);
+        assert_eq!(p.install_fd(FdEntry::Console), 11);
+    }
+}

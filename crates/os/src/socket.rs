@@ -1,0 +1,270 @@
+//! Loopback socket layer.
+//!
+//! Models `AF_INET` stream sockets over an in-kernel loopback: enough for
+//! the paper's webserver (lighttpd/NGINX + ApacheBench) and cache
+//! (memcached + memaslap) workloads, whose traffic never leaves the CVM in
+//! our benchmarks either.
+
+use crate::error::Errno;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Socket handle (kernel-internal id; processes see an fd mapped to this).
+pub type SockId = usize;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SockState {
+    /// Fresh socket.
+    New,
+    /// Bound to a port.
+    Bound(u16),
+    /// Listening with a backlog of pending peer sockets.
+    Listening(u16),
+    /// Connected; peer socket id.
+    Connected(SockId),
+    /// Peer closed.
+    Shutdown,
+}
+
+#[derive(Debug, Clone)]
+struct Sock {
+    state: SockState,
+    /// Bytes waiting to be read by this socket.
+    rx: VecDeque<u8>,
+}
+
+/// The loopback socket table.
+#[derive(Debug, Clone, Default)]
+pub struct SocketTable {
+    socks: Vec<Option<Sock>>,
+    /// Listening port -> (listener id, pending connect queue).
+    listeners: BTreeMap<u16, (SockId, VecDeque<SockId>)>,
+}
+
+impl SocketTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&self, id: SockId) -> Result<&Sock, Errno> {
+        self.socks.get(id).and_then(|s| s.as_ref()).ok_or(Errno::EBADF)
+    }
+
+    fn get_mut(&mut self, id: SockId) -> Result<&mut Sock, Errno> {
+        self.socks.get_mut(id).and_then(|s| s.as_mut()).ok_or(Errno::EBADF)
+    }
+
+    /// `socket(2)`.
+    pub fn socket(&mut self) -> SockId {
+        let sock = Sock { state: SockState::New, rx: VecDeque::new() };
+        for (i, slot) in self.socks.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(sock);
+                return i;
+            }
+        }
+        self.socks.push(Some(sock));
+        self.socks.len() - 1
+    }
+
+    /// `bind(2)` to a port.
+    pub fn bind(&mut self, id: SockId, port: u16) -> Result<(), Errno> {
+        if self.listeners.contains_key(&port) {
+            return Err(Errno::EADDRINUSE);
+        }
+        let sock = self.get_mut(id)?;
+        if sock.state != SockState::New {
+            return Err(Errno::EINVAL);
+        }
+        sock.state = SockState::Bound(port);
+        Ok(())
+    }
+
+    /// `listen(2)`.
+    pub fn listen(&mut self, id: SockId) -> Result<(), Errno> {
+        let port = match self.get(id)?.state {
+            SockState::Bound(p) => p,
+            _ => return Err(Errno::EINVAL),
+        };
+        self.get_mut(id)?.state = SockState::Listening(port);
+        self.listeners.insert(port, (id, VecDeque::new()));
+        Ok(())
+    }
+
+    /// `connect(2)` to a loopback port. Completes immediately if a
+    /// listener exists (the accept side pairs later).
+    pub fn connect(&mut self, id: SockId, port: u16) -> Result<(), Errno> {
+        if self.get(id)?.state != SockState::New {
+            return Err(Errno::EINVAL);
+        }
+        if !self.listeners.contains_key(&port) {
+            return Err(Errno::ECONNREFUSED);
+        }
+        // Create the server-side endpoint eagerly and queue it.
+        let server_end = self.socket();
+        self.get_mut(server_end)?.state = SockState::Connected(id);
+        self.get_mut(id)?.state = SockState::Connected(server_end);
+        self.listeners.get_mut(&port).expect("checked").1.push_back(server_end);
+        Ok(())
+    }
+
+    /// `accept(2)`: returns the next queued connection's socket.
+    pub fn accept(&mut self, listener: SockId) -> Result<SockId, Errno> {
+        let port = match self.get(listener)?.state {
+            SockState::Listening(p) => p,
+            _ => return Err(Errno::EINVAL),
+        };
+        let (_, queue) = self.listeners.get_mut(&port).ok_or(Errno::EINVAL)?;
+        queue.pop_front().ok_or(Errno::EAGAIN)
+    }
+
+    /// `send(2)`: appends to the peer's receive buffer.
+    pub fn send(&mut self, id: SockId, data: &[u8]) -> Result<usize, Errno> {
+        let peer = match self.get(id)?.state {
+            SockState::Connected(p) => p,
+            SockState::Shutdown => return Err(Errno::EPIPE),
+            _ => return Err(Errno::ENOTCONN),
+        };
+        let peer_sock = self.get_mut(peer)?;
+        peer_sock.rx.extend(data.iter().copied());
+        Ok(data.len())
+    }
+
+    /// `recv(2)`: drains from this socket's receive buffer.
+    pub fn recv(&mut self, id: SockId, buf: &mut [u8]) -> Result<usize, Errno> {
+        let sock = self.get_mut(id)?;
+        match sock.state {
+            SockState::Connected(_) | SockState::Shutdown => {}
+            _ => return Err(Errno::ENOTCONN),
+        }
+        if sock.rx.is_empty() {
+            return if sock.state == SockState::Shutdown { Ok(0) } else { Err(Errno::EAGAIN) };
+        }
+        let n = buf.len().min(sock.rx.len());
+        for b in buf.iter_mut().take(n) {
+            *b = sock.rx.pop_front().expect("len checked");
+        }
+        Ok(n)
+    }
+
+    /// Closes a socket, notifying the peer.
+    pub fn close(&mut self, id: SockId) -> Result<(), Errno> {
+        let state = self.get(id)?.state.clone();
+        match state {
+            SockState::Connected(peer) => {
+                if let Ok(p) = self.get_mut(peer) {
+                    p.state = SockState::Shutdown;
+                }
+            }
+            SockState::Listening(port) => {
+                self.listeners.remove(&port);
+            }
+            _ => {}
+        }
+        self.socks[id] = None;
+        Ok(())
+    }
+
+    /// Creates a connected pair directly (`socketpair(2)`).
+    pub fn socketpair(&mut self) -> (SockId, SockId) {
+        let a = self.socket();
+        let b = self.socket();
+        self.socks[a].as_mut().expect("fresh").state = SockState::Connected(b);
+        self.socks[b].as_mut().expect("fresh").state = SockState::Connected(a);
+        (a, b)
+    }
+
+    /// Bytes queued for reading on `id`.
+    pub fn pending(&self, id: SockId) -> Result<usize, Errno> {
+        Ok(self.get(id)?.rx.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_client_server_exchange() {
+        let mut t = SocketTable::new();
+        let server = t.socket();
+        t.bind(server, 80).unwrap();
+        t.listen(server).unwrap();
+
+        let client = t.socket();
+        t.connect(client, 80).unwrap();
+        let conn = t.accept(server).unwrap();
+
+        t.send(client, b"GET / HTTP/1.1").unwrap();
+        let mut buf = [0u8; 32];
+        let n = t.recv(conn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"GET / HTTP/1.1");
+
+        t.send(conn, b"HTTP/1.1 200 OK").unwrap();
+        let n = t.recv(client, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"HTTP/1.1 200 OK");
+    }
+
+    #[test]
+    fn connect_refused_without_listener() {
+        let mut t = SocketTable::new();
+        let c = t.socket();
+        assert_eq!(t.connect(c, 9999), Err(Errno::ECONNREFUSED));
+    }
+
+    #[test]
+    fn double_bind_port() {
+        let mut t = SocketTable::new();
+        let a = t.socket();
+        let b = t.socket();
+        t.bind(a, 80).unwrap();
+        t.listen(a).unwrap();
+        assert_eq!(t.bind(b, 80), Err(Errno::EADDRINUSE));
+    }
+
+    #[test]
+    fn accept_empty_queue_would_block() {
+        let mut t = SocketTable::new();
+        let s = t.socket();
+        t.bind(s, 81).unwrap();
+        t.listen(s).unwrap();
+        assert_eq!(t.accept(s), Err(Errno::EAGAIN));
+    }
+
+    #[test]
+    fn recv_after_peer_close_returns_zero() {
+        let mut t = SocketTable::new();
+        let (a, b) = t.socketpair();
+        t.send(a, b"bye").unwrap();
+        t.close(a).unwrap();
+        let mut buf = [0u8; 8];
+        // Buffered data still readable...
+        assert_eq!(t.recv(b, &mut buf).unwrap(), 3);
+        // ...then EOF.
+        assert_eq!(t.recv(b, &mut buf).unwrap(), 0);
+        // Send to closed peer pipes.
+        assert_eq!(t.send(b, b"x"), Err(Errno::EPIPE));
+    }
+
+    #[test]
+    fn partial_recv_preserves_rest() {
+        let mut t = SocketTable::new();
+        let (a, b) = t.socketpair();
+        t.send(a, b"0123456789").unwrap();
+        let mut small = [0u8; 4];
+        assert_eq!(t.recv(b, &mut small).unwrap(), 4);
+        assert_eq!(&small, b"0123");
+        assert_eq!(t.pending(b).unwrap(), 6);
+    }
+
+    #[test]
+    fn close_listener_frees_port() {
+        let mut t = SocketTable::new();
+        let s = t.socket();
+        t.bind(s, 82).unwrap();
+        t.listen(s).unwrap();
+        t.close(s).unwrap();
+        let s2 = t.socket();
+        t.bind(s2, 82).unwrap();
+    }
+}

@@ -1,0 +1,333 @@
+//! Batched (exitless-style) system-call handling — the §10 future-work
+//! optimization, implemented.
+//!
+//! "One way to minimize synchronous exits is by batching system calls"
+//! (§10, citing FlexSC). [`BatchedSys`] wraps an [`EnclaveSys`] and
+//! queues *fire-and-forget* data-emission calls (`write`, `pwrite`,
+//! `send`) in enclave memory; one exit pair then drains the whole queue
+//! through the untrusted stub. Any non-batchable call (reads, opens,
+//! anything whose result the caller needs) flushes first, preserving
+//! program order.
+//!
+//! Semantics: queued calls report optimistic success (full-length
+//! writes); real errors surface at the next flush as `EIO`, matching the
+//! deferred-error model of asynchronous syscall systems. Workloads that
+//! need synchronous durability must not batch.
+
+use crate::runtime::EnclaveSys;
+use veil_os::error::Errno;
+use veil_os::sys::{Fd, OpenFlags, Sys, SysStat, Whence};
+use veil_snp::cost::CostCategory;
+
+/// One queued emission.
+#[derive(Debug, Clone)]
+enum QueuedOp {
+    Write { fd: Fd, data: Vec<u8> },
+    Pwrite { fd: Fd, data: Vec<u8>, offset: u64 },
+    Send { fd: Fd, data: Vec<u8> },
+}
+
+/// Statistics for the batching layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Calls queued instead of exiting.
+    pub queued: u64,
+    /// Flushes performed (each = one exit pair).
+    pub flushes: u64,
+    /// Errors surfaced at flush time.
+    pub deferred_errors: u64,
+}
+
+/// A batching decorator over [`EnclaveSys`].
+pub struct BatchedSys<'a, 'b> {
+    inner: &'b mut EnclaveSys<'a>,
+    queue: Vec<QueuedOp>,
+    batch_size: usize,
+    /// Set when a queued op failed during the last flush.
+    pending_error: bool,
+    /// Statistics.
+    pub stats: BatchStats,
+}
+
+impl<'a, 'b> BatchedSys<'a, 'b> {
+    /// Wraps `inner`, flushing automatically every `batch_size` queued
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(inner: &'b mut EnclaveSys<'a>, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchedSys { inner, queue: Vec::new(), batch_size, pending_error: false, stats: BatchStats::default() }
+    }
+
+    fn queue(&mut self, op: QueuedOp, len: usize) -> Result<usize, Errno> {
+        if self.pending_error {
+            self.pending_error = false;
+            return Err(Errno::EIO);
+        }
+        // The payload is staged into enclave-side batch memory now
+        // (copy cost), but no exit happens yet.
+        let cost = self.inner.cvm.hv.machine.cost().copy(len);
+        self.inner.cvm.hv.machine.charge(CostCategory::SyscallCopy, cost);
+        self.queue.push(op);
+        self.stats.queued += 1;
+        if self.queue.len() >= self.batch_size {
+            self.flush()?;
+        }
+        Ok(len)
+    }
+
+    /// Drains the queue through a single exit pair.
+    ///
+    /// # Errors
+    ///
+    /// `EIO` if any queued operation failed (after draining everything).
+    pub fn flush(&mut self) -> Result<(), Errno> {
+        if self.queue.is_empty() {
+            return Ok(());
+        }
+        let ops = std::mem::take(&mut self.queue);
+        self.stats.flushes += 1;
+        // One exit pair amortized over the whole batch: execute the ops
+        // through the inner redirect machinery as a single "syscall".
+        let mut failed = 0u64;
+        self.inner.run_batch(|ks| {
+            for op in &ops {
+                let r = match op {
+                    QueuedOp::Write { fd, data } => ks.write(*fd, data).map(|_| ()),
+                    QueuedOp::Pwrite { fd, data, offset } => {
+                        ks.pwrite(*fd, data, *offset).map(|_| ())
+                    }
+                    QueuedOp::Send { fd, data } => ks.send(*fd, data).map(|_| ()),
+                };
+                if r.is_err() {
+                    failed += 1;
+                }
+            }
+        })?;
+        if failed > 0 {
+            self.stats.deferred_errors += failed;
+            self.pending_error = true;
+        }
+        Ok(())
+    }
+
+    /// Flushes and returns the wrapped runtime reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn finish(mut self) -> Result<(), Errno> {
+        self.flush()
+    }
+}
+
+impl Drop for BatchedSys<'_, '_> {
+    fn drop(&mut self) {
+        // Best-effort drain; callers who care about errors use finish().
+        let _ = self.flush();
+    }
+}
+
+impl Sys for BatchedSys<'_, '_> {
+    fn open(&mut self, path: &str, flags: OpenFlags) -> Result<Fd, Errno> {
+        self.flush()?;
+        self.inner.open(path, flags)
+    }
+
+    fn close(&mut self, fd: Fd) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.close(fd)
+    }
+
+    fn read(&mut self, fd: Fd, buf: &mut [u8]) -> Result<usize, Errno> {
+        self.flush()?;
+        self.inner.read(fd, buf)
+    }
+
+    fn write(&mut self, fd: Fd, buf: &[u8]) -> Result<usize, Errno> {
+        self.queue(QueuedOp::Write { fd, data: buf.to_vec() }, buf.len())
+    }
+
+    fn pread(&mut self, fd: Fd, buf: &mut [u8], offset: u64) -> Result<usize, Errno> {
+        self.flush()?;
+        self.inner.pread(fd, buf, offset)
+    }
+
+    fn pwrite(&mut self, fd: Fd, buf: &[u8], offset: u64) -> Result<usize, Errno> {
+        self.queue(QueuedOp::Pwrite { fd, data: buf.to_vec(), offset }, buf.len())
+    }
+
+    fn lseek(&mut self, fd: Fd, offset: i64, whence: Whence) -> Result<u64, Errno> {
+        self.flush()?;
+        self.inner.lseek(fd, offset, whence)
+    }
+
+    fn stat(&mut self, path: &str) -> Result<SysStat, Errno> {
+        self.flush()?;
+        self.inner.stat(path)
+    }
+
+    fn fstat(&mut self, fd: Fd) -> Result<SysStat, Errno> {
+        self.flush()?;
+        self.inner.fstat(fd)
+    }
+
+    fn mkdir(&mut self, path: &str) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.mkdir(path)
+    }
+
+    fn rmdir(&mut self, path: &str) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.rmdir(path)
+    }
+
+    fn unlink(&mut self, path: &str) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.unlink(path)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.rename(from, to)
+    }
+
+    fn link(&mut self, existing: &str, new_path: &str) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.link(existing, new_path)
+    }
+
+    fn symlink(&mut self, target: &str, link_path: &str) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.symlink(target, link_path)
+    }
+
+    fn ftruncate(&mut self, fd: Fd, len: u64) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.ftruncate(fd, len)
+    }
+
+    fn chmod(&mut self, path: &str, mode: u32) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.chmod(path, mode)
+    }
+
+    fn fchmod(&mut self, fd: Fd, mode: u32) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.fchmod(fd, mode)
+    }
+
+    fn getdents(&mut self, fd: Fd) -> Result<Vec<String>, Errno> {
+        self.flush()?;
+        self.inner.getdents(fd)
+    }
+
+    fn mmap(&mut self, len: usize) -> Result<u64, Errno> {
+        self.flush()?;
+        self.inner.mmap(len)
+    }
+
+    fn munmap(&mut self, addr: u64, len: usize) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.munmap(addr, len)
+    }
+
+    fn mprotect(&mut self, addr: u64, len: usize, prot_write: bool) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.mprotect(addr, len, prot_write)
+    }
+
+    fn mem_write(&mut self, addr: u64, data: &[u8]) -> Result<(), Errno> {
+        self.inner.mem_write(addr, data)
+    }
+
+    fn mem_read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Errno> {
+        self.inner.mem_read(addr, buf)
+    }
+
+    fn socket(&mut self) -> Result<Fd, Errno> {
+        self.flush()?;
+        self.inner.socket()
+    }
+
+    fn bind(&mut self, fd: Fd, port: u16) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.bind(fd, port)
+    }
+
+    fn listen(&mut self, fd: Fd) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.listen(fd)
+    }
+
+    fn accept(&mut self, fd: Fd) -> Result<Fd, Errno> {
+        self.flush()?;
+        self.inner.accept(fd)
+    }
+
+    fn connect(&mut self, fd: Fd, port: u16) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.connect(fd, port)
+    }
+
+    fn send(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
+        self.queue(QueuedOp::Send { fd, data: data.to_vec() }, data.len())
+    }
+
+    fn recv(&mut self, fd: Fd, buf: &mut [u8]) -> Result<usize, Errno> {
+        self.flush()?;
+        self.inner.recv(fd, buf)
+    }
+
+    fn socketpair(&mut self) -> Result<(Fd, Fd), Errno> {
+        self.flush()?;
+        self.inner.socketpair()
+    }
+
+    fn dup(&mut self, fd: Fd) -> Result<Fd, Errno> {
+        self.flush()?;
+        self.inner.dup(fd)
+    }
+
+    fn dup2(&mut self, fd: Fd, new_fd: Fd) -> Result<Fd, Errno> {
+        self.flush()?;
+        self.inner.dup2(fd, new_fd)
+    }
+
+    fn getpid(&mut self) -> Result<u32, Errno> {
+        self.inner.getpid()
+    }
+
+    fn getuid(&mut self) -> Result<u32, Errno> {
+        self.inner.getuid()
+    }
+
+    fn setuid(&mut self, uid: u32) -> Result<(), Errno> {
+        self.flush()?;
+        self.inner.setuid(uid)
+    }
+
+    fn print(&mut self, msg: &str) -> Result<usize, Errno> {
+        self.queue(QueuedOp::Write { fd: 1, data: msg.as_bytes().to_vec() }, msg.len())
+    }
+
+    fn clock_gettime(&mut self) -> Result<u64, Errno> {
+        self.inner.clock_gettime()
+    }
+
+    fn sendfile(&mut self, out_fd: Fd, in_fd: Fd, len: usize) -> Result<usize, Errno> {
+        self.flush()?;
+        self.inner.sendfile(out_fd, in_fd, len)
+    }
+
+    fn ioctl(&mut self, fd: Fd, req: u64) -> Result<u64, Errno> {
+        self.flush()?;
+        self.inner.ioctl(fd, req)
+    }
+
+    fn burn(&mut self, cycles: u64) {
+        self.inner.burn(cycles);
+    }
+}

@@ -1,0 +1,141 @@
+//! Self-contained enclave binaries.
+//!
+//! "The program to be shielded inside an enclave is provided as a
+//! self-contained binary (e.g., with its own C library) with no outside
+//! calls" (§6.2). The simulated binary carries text and initialized data
+//! plus the heap/stack geometry the loader should reserve.
+
+use veil_crypto::Sha256;
+use veil_snp::mem::PAGE_SIZE;
+
+/// A self-contained enclave program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnclaveBinary {
+    /// Program name (diagnostics only; not part of the trust story).
+    pub name: String,
+    /// Code bytes (mapped read+execute).
+    pub text: Vec<u8>,
+    /// Initialized data (mapped read+write, no execute).
+    pub data: Vec<u8>,
+    /// Heap reservation in pages.
+    pub heap_pages: usize,
+    /// Stack reservation in pages.
+    pub stack_pages: usize,
+}
+
+impl EnclaveBinary {
+    /// Builds a deterministic test binary of roughly `text_len` code
+    /// bytes and `data_len` data bytes.
+    pub fn build(name: &str, text_len: usize, data_len: usize) -> Self {
+        let tag = Sha256::digest(name.as_bytes());
+        let text = (0..text_len).map(|i| tag[i % 32] ^ (i as u8)).collect();
+        let data = (0..data_len).map(|i| tag[(i + 7) % 32].wrapping_add(i as u8)).collect();
+        EnclaveBinary { name: name.to_string(), text, data, heap_pages: 16, stack_pages: 4 }
+    }
+
+    /// Overrides the heap reservation.
+    #[must_use]
+    pub fn with_heap_pages(mut self, pages: usize) -> Self {
+        self.heap_pages = pages;
+        self
+    }
+
+    /// Overrides the stack reservation.
+    #[must_use]
+    pub fn with_stack_pages(mut self, pages: usize) -> Self {
+        self.stack_pages = pages;
+        self
+    }
+
+    /// Pages of text (rounded up).
+    pub fn text_pages(&self) -> usize {
+        self.text.len().div_ceil(PAGE_SIZE).max(1)
+    }
+
+    /// Pages of data (rounded up).
+    pub fn data_pages(&self) -> usize {
+        self.data.len().div_ceil(PAGE_SIZE).max(1)
+    }
+
+    /// Total enclave pages (text + data + heap + stack).
+    pub fn total_pages(&self) -> usize {
+        self.text_pages() + self.data_pages() + self.heap_pages + self.stack_pages
+    }
+
+    /// The measurement a remote user expects for this binary when loaded
+    /// at `base`: must match what VeilS-ENC computes from guest memory.
+    /// Pages are measured in ascending virtual order with their PTE
+    /// flag bits, zero-padded to page size, heap/stack pages all-zero.
+    pub fn expected_pages(&self, base: u64) -> Vec<(u64, u64, Vec<u8>)> {
+        use veil_snp::pt::PteFlags;
+        let mut pages = Vec::new();
+        let mut vaddr = base;
+        for chunk in self.padded_chunks(&self.text) {
+            pages.push((vaddr, PteFlags::user_text().union(PteFlags::PRESENT).bits(), chunk));
+            vaddr += PAGE_SIZE as u64;
+        }
+        for chunk in self.padded_chunks(&self.data) {
+            pages.push((vaddr, PteFlags::user_data().union(PteFlags::PRESENT).bits(), chunk));
+            vaddr += PAGE_SIZE as u64;
+        }
+        for _ in 0..self.heap_pages + self.stack_pages {
+            pages.push((
+                vaddr,
+                PteFlags::user_data().union(PteFlags::PRESENT).bits(),
+                vec![0u8; PAGE_SIZE],
+            ));
+            vaddr += PAGE_SIZE as u64;
+        }
+        pages
+    }
+
+    fn padded_chunks(&self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let pages = bytes.len().div_ceil(PAGE_SIZE).max(1);
+        for i in 0..pages {
+            let mut page = vec![0u8; PAGE_SIZE];
+            let start = i * PAGE_SIZE;
+            let end = ((i + 1) * PAGE_SIZE).min(bytes.len());
+            if start < bytes.len() {
+                page[..end - start].copy_from_slice(&bytes[start..end]);
+            }
+            out.push(page);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_build() {
+        assert_eq!(EnclaveBinary::build("db", 1000, 100), EnclaveBinary::build("db", 1000, 100));
+        assert_ne!(
+            EnclaveBinary::build("db", 1000, 100).text,
+            EnclaveBinary::build("web", 1000, 100).text
+        );
+    }
+
+    #[test]
+    fn page_accounting() {
+        let b = EnclaveBinary::build("x", 5000, 100).with_heap_pages(8).with_stack_pages(2);
+        assert_eq!(b.text_pages(), 2);
+        assert_eq!(b.data_pages(), 1);
+        assert_eq!(b.total_pages(), 13);
+        assert_eq!(b.expected_pages(0x5000_0000).len(), 13);
+    }
+
+    #[test]
+    fn expected_pages_are_contiguous_and_padded() {
+        let b = EnclaveBinary::build("y", 100, 100);
+        let pages = b.expected_pages(0x1000);
+        for (i, (vaddr, _, content)) in pages.iter().enumerate() {
+            assert_eq!(*vaddr, 0x1000 + (i * PAGE_SIZE) as u64);
+            assert_eq!(content.len(), PAGE_SIZE);
+        }
+        // Text page carries the code prefix.
+        assert_eq!(&pages[0].2[..100], &b.text[..]);
+    }
+}

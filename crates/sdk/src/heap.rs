@@ -1,0 +1,334 @@
+//! In-enclave heap allocator (dlmalloc-style, §7).
+//!
+//! The SDK "implements an internal heap allocator for enclaves using the
+//! dlmalloc implementation". This is a first-fit free-list allocator with
+//! boundary coalescing over the enclave's heap address range. Metadata is
+//! mirrored on the host side (the simulated enclave code is Rust), but the
+//! *addresses* it hands out are real enclave virtual addresses backed by
+//! protected guest frames.
+
+/// Minimum allocation granularity (dlmalloc's 16-byte chunks).
+pub const MIN_CHUNK: u64 = 16;
+
+/// One free region `[start, start+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeChunk {
+    start: u64,
+    len: u64,
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// No free chunk large enough.
+    OutOfMemory,
+    /// Free of a pointer the allocator does not own.
+    BadFree(u64),
+    /// Zero-size allocation.
+    ZeroSize,
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::OutOfMemory => write!(f, "enclave heap exhausted"),
+            HeapError::BadFree(p) => write!(f, "free of unowned pointer {p:#x}"),
+            HeapError::ZeroSize => write!(f, "zero-size allocation"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// The allocator.
+#[derive(Debug, Clone)]
+pub struct HeapAllocator {
+    base: u64,
+    len: u64,
+    /// Free list kept sorted by address for O(n) coalescing.
+    free: Vec<FreeChunk>,
+    /// Live allocations: (start, len).
+    live: Vec<(u64, u64)>,
+    /// Peak bytes in use.
+    pub peak_used: u64,
+    used: u64,
+}
+
+impl HeapAllocator {
+    /// Manages `[base, base + len)`.
+    pub fn new(base: u64, len: u64) -> Self {
+        HeapAllocator {
+            base,
+            len,
+            free: vec![FreeChunk { start: base, len }],
+            live: Vec::new(),
+            peak_used: 0,
+            used: 0,
+        }
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u64 {
+        self.len
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn round(size: u64) -> u64 {
+        size.div_ceil(MIN_CHUNK) * MIN_CHUNK
+    }
+
+    /// Allocates `size` bytes (first fit).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] when no chunk fits, [`HeapError::ZeroSize`]
+    /// for `size == 0`.
+    pub fn malloc(&mut self, size: u64) -> Result<u64, HeapError> {
+        if size == 0 {
+            return Err(HeapError::ZeroSize);
+        }
+        let need = Self::round(size);
+        let idx = self
+            .free
+            .iter()
+            .position(|c| c.len >= need)
+            .ok_or(HeapError::OutOfMemory)?;
+        let chunk = self.free[idx];
+        let addr = chunk.start;
+        if chunk.len == need {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = FreeChunk { start: chunk.start + need, len: chunk.len - need };
+        }
+        self.live.push((addr, need));
+        self.used += need;
+        self.peak_used = self.peak_used.max(self.used);
+        Ok(addr)
+    }
+
+    /// Frees an allocation, coalescing with neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadFree`] for pointers not returned by
+    /// [`HeapAllocator::malloc`] (double free included).
+    pub fn free(&mut self, addr: u64) -> Result<(), HeapError> {
+        let idx = self
+            .live
+            .iter()
+            .position(|(a, _)| *a == addr)
+            .ok_or(HeapError::BadFree(addr))?;
+        let (start, len) = self.live.swap_remove(idx);
+        self.used -= len;
+        // Insert sorted, then coalesce with both neighbours.
+        let pos = self.free.partition_point(|c| c.start < start);
+        self.free.insert(pos, FreeChunk { start, len });
+        if pos + 1 < self.free.len() {
+            let next = self.free[pos + 1];
+            if self.free[pos].start + self.free[pos].len == next.start {
+                self.free[pos].len += next.len;
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let prev = self.free[pos - 1];
+            if prev.start + prev.len == self.free[pos].start {
+                self.free[pos - 1].len += self.free[pos].len;
+                self.free.remove(pos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reallocates to `new_size`, returning the (possibly moved) address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError::BadFree`]/[`HeapError::OutOfMemory`]; on
+    /// failure the original allocation is untouched.
+    pub fn realloc(&mut self, addr: u64, new_size: u64) -> Result<u64, HeapError> {
+        let (_, old_len) = *self
+            .live
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .ok_or(HeapError::BadFree(addr))?;
+        if Self::round(new_size) <= old_len {
+            return Ok(addr);
+        }
+        let new_addr = self.malloc(new_size)?;
+        self.free(addr).expect("addr verified live");
+        Ok(new_addr)
+    }
+
+    /// Internal consistency check used by tests and property tests:
+    /// free chunks are sorted, non-overlapping, non-adjacent (fully
+    /// coalesced), inside the arena, and disjoint from live allocations.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_end = None::<u64>;
+        for c in &self.free {
+            if c.start < self.base || c.start + c.len > self.base + self.len {
+                return Err(format!("free chunk {c:?} outside arena"));
+            }
+            if let Some(end) = prev_end {
+                if c.start < end {
+                    return Err(format!("overlapping free chunks at {:#x}", c.start));
+                }
+                if c.start == end {
+                    return Err(format!("uncoalesced free chunks at {:#x}", c.start));
+                }
+            }
+            prev_end = Some(c.start + c.len);
+        }
+        for (a, l) in &self.live {
+            for c in &self.free {
+                if *a < c.start + c.len && c.start < a + l {
+                    return Err(format!("live allocation {a:#x} overlaps free chunk"));
+                }
+            }
+        }
+        let free_total: u64 = self.free.iter().map(|c| c.len).sum();
+        if free_total + self.used != self.len {
+            return Err(format!(
+                "accounting mismatch: free {free_total} + used {} != {}",
+                self.used, self.len
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn malloc_free_roundtrip() {
+        let mut h = HeapAllocator::new(0x1000, 0x1000);
+        let a = h.malloc(100).unwrap();
+        let b = h.malloc(200).unwrap();
+        assert_ne!(a, b);
+        assert!(a >= 0x1000 && a < 0x2000);
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.used(), 0);
+        h.check_invariants().unwrap();
+        // Fully coalesced: a max-size allocation fits again.
+        let c = h.malloc(0x1000).unwrap();
+        assert_eq!(c, 0x1000);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut h = HeapAllocator::new(0, 4096);
+        let a = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::BadFree(a)));
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut h = HeapAllocator::new(0, 256);
+        assert!(h.malloc(300).is_err());
+        let _a = h.malloc(128).unwrap();
+        let _b = h.malloc(128).unwrap();
+        assert_eq!(h.malloc(16), Err(HeapError::OutOfMemory));
+    }
+
+    #[test]
+    fn fragmentation_then_coalesce() {
+        let mut h = HeapAllocator::new(0, 1024);
+        let ptrs: Vec<u64> = (0..8).map(|_| h.malloc(128).unwrap()).collect();
+        // Free every other block: no 256-byte chunk available.
+        for p in ptrs.iter().step_by(2) {
+            h.free(*p).unwrap();
+        }
+        assert_eq!(h.malloc(256), Err(HeapError::OutOfMemory));
+        // Free the rest: coalescing restores the full arena.
+        for p in ptrs.iter().skip(1).step_by(2) {
+            h.free(*p).unwrap();
+        }
+        assert_eq!(h.malloc(1024).unwrap(), 0);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn realloc_grows_and_preserves_address_when_possible() {
+        let mut h = HeapAllocator::new(0, 4096);
+        let a = h.malloc(100).unwrap();
+        // Rounded to 112; fits in place.
+        assert_eq!(h.realloc(a, 110).unwrap(), a);
+        let b = h.realloc(a, 1000).unwrap();
+        assert_ne!(b, a);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut h = HeapAllocator::new(0, 4096);
+        let a = h.malloc(1000).unwrap();
+        let b = h.malloc(1000).unwrap();
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert!(h.peak_used >= 2000);
+        assert_eq!(h.used(), 0);
+    }
+
+    proptest! {
+        /// Random malloc/free interleavings keep every invariant.
+        #[test]
+        fn prop_invariants_hold(ops in proptest::collection::vec((0u8..3, 1u64..600), 1..120)) {
+            let mut h = HeapAllocator::new(0x4000, 16 * 1024);
+            let mut live: Vec<u64> = Vec::new();
+            for (op, size) in ops {
+                match op {
+                    0 => {
+                        if let Ok(p) = h.malloc(size) {
+                            live.push(p);
+                        }
+                    }
+                    1 => {
+                        if !live.is_empty() {
+                            let p = live.remove((size as usize) % live.len());
+                            h.free(p).unwrap();
+                        }
+                    }
+                    _ => {
+                        if !live.is_empty() {
+                            let idx = (size as usize) % live.len();
+                            if let Ok(np) = h.realloc(live[idx], size) {
+                                live[idx] = np;
+                            }
+                        }
+                    }
+                }
+                h.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            }
+            // Drain everything: arena must return to a single chunk.
+            for p in live {
+                h.free(p).unwrap();
+            }
+            h.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            prop_assert_eq!(h.used(), 0);
+        }
+
+        /// Allocations never overlap.
+        #[test]
+        fn prop_allocations_disjoint(sizes in proptest::collection::vec(1u64..256, 1..40)) {
+            let mut h = HeapAllocator::new(0, 64 * 1024);
+            let mut regions: Vec<(u64, u64)> = Vec::new();
+            for s in sizes {
+                if let Ok(p) = h.malloc(s) {
+                    for (q, l) in &regions {
+                        prop_assert!(p + s <= *q || q + l <= p, "overlap {p:#x} vs {q:#x}");
+                    }
+                    regions.push((p, s));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! End-to-end SDK tests: install → run shielded syscalls → page → destroy.
+
+use veil_sdk::{install_enclave, remove_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
+use veil_sdk::install::{swap_in_page, swap_out_page};
+use veil_services::CvmBuilder;
+use veil_os::error::Errno;
+use veil_os::sys::{OpenFlags, Sys, Whence};
+use veil_snp::cost::CostCategory;
+use veil_snp::mem::{gpa_of, PAGE_SIZE};
+use veil_snp::perms::{Cpl, Vmpl};
+use veil_snp::perms::Access;
+
+fn cvm() -> veil_services::Cvm {
+    CvmBuilder::new().frames(4096).vcpus(1).build().expect("boot")
+}
+
+#[test]
+fn install_and_measure() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let binary = EnclaveBinary::build("hello-enclave", 6000, 2000);
+    let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
+    let enclave = cvm.gate.services.enc.enclave(handle.id).expect("live");
+    assert_eq!(enclave.resident_pages(), binary.total_pages());
+    // The OS can no longer read enclave memory.
+    let gpa = gpa_of(handle.frames[0]);
+    assert!(cvm.hv.machine.read(Vmpl::Vmpl3, gpa, 16).is_err());
+    // ...but the enclave contents were measured before sealing.
+    assert_ne!(enclave.measurement.0, [0u8; 32]);
+}
+
+#[test]
+fn measurement_is_reproducible_and_binary_sensitive() {
+    let binary = EnclaveBinary::build("det", 3000, 500);
+    let m1 = {
+        let mut cvm = cvm();
+        let pid = cvm.spawn();
+        let h = install_enclave(&mut cvm, pid, &binary).unwrap();
+        cvm.gate.services.enc.enclave(h.id).unwrap().measurement
+    };
+    let m2 = {
+        let mut cvm = cvm();
+        let pid = cvm.spawn();
+        let h = install_enclave(&mut cvm, pid, &binary).unwrap();
+        cvm.gate.services.enc.enclave(h.id).unwrap().measurement
+    };
+    assert_eq!(m1, m2, "same binary, same measurement");
+    let m3 = {
+        let mut cvm = cvm();
+        let pid = cvm.spawn();
+        let other = EnclaveBinary::build("det2", 3000, 500);
+        let h = install_enclave(&mut cvm, pid, &other).unwrap();
+        cvm.gate.services.enc.enclave(h.id).unwrap().measurement
+    };
+    assert_ne!(m1, m3, "different binary, different measurement");
+}
+
+#[test]
+fn shielded_syscalls_roundtrip() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let binary = EnclaveBinary::build("worker", 4096, 1024);
+    let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
+    let mut rt = EnclaveRuntime::new(handle);
+    {
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
+        let fd = sys.open("/tmp/shielded.txt", OpenFlags::rdwr_create()).unwrap();
+        assert_eq!(sys.write(fd, b"from inside the enclave").unwrap(), 23);
+        sys.lseek(fd, 0, Whence::Set).unwrap();
+        let mut buf = [0u8; 23];
+        assert_eq!(sys.read(fd, &mut buf).unwrap(), 23);
+        assert_eq!(&buf, b"from inside the enclave");
+        sys.close(fd).unwrap();
+        sys.deactivate().unwrap();
+    }
+    // Each syscall cost two enclave crossings (plus entry/exit).
+    assert!(rt.stats.syscalls >= 4);
+    assert!(rt.stats.crossings >= 2 * rt.stats.syscalls);
+    assert!(rt.stats.bytes_copied >= 46, "deep copies of both buffers");
+    // The cycle account saw enclave-exit work.
+    assert!(cvm.hv.machine.cycles().of(CostCategory::EnclaveExit) > 0);
+}
+
+#[test]
+fn enclave_memory_accessible_inside_only() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let binary = EnclaveBinary::build("memtest", 4096, 4096).with_heap_pages(4);
+    let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
+    let heap_addr = handle.heap_base;
+    let mut rt = EnclaveRuntime::new(handle);
+    {
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
+        let ptr = sys.rt.heap.malloc(64).unwrap();
+        assert!(ptr >= heap_addr);
+        sys.mem_write(ptr, b"secret key material").unwrap();
+        let mut buf = [0u8; 19];
+        sys.mem_read(ptr, &mut buf).unwrap();
+        assert_eq!(&buf, b"secret key material");
+        sys.deactivate().unwrap();
+    }
+    // The OS path (kernel Sys) cannot read the same address.
+    let mut os_sys = cvm.sys(pid);
+    let mut buf = [0u8; 19];
+    assert_eq!(os_sys.mem_read(heap_addr, &mut buf), Err(Errno::EFAULT));
+}
+
+#[test]
+fn unsupported_syscall_kills_enclave() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("victim", 1024, 0)).unwrap();
+    let mut rt = EnclaveRuntime::new(handle);
+    let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
+    assert_eq!(sys.ioctl(1, 0x5401), Err(Errno::ENOSYS));
+    // Killed: every further call refuses.
+    assert_eq!(sys.getpid(), Err(Errno::EKEYREJECTED));
+    drop(sys);
+    assert!(rt.stats.killed);
+}
+
+#[test]
+fn iago_mmap_into_enclave_rejected() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("iago", 1024, 0)).unwrap();
+    let base = handle.base;
+    let mut rt = EnclaveRuntime::new(handle);
+    let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
+    // Honest kernel returns an outside pointer: fine.
+    let addr = sys.mmap(PAGE_SIZE).unwrap();
+    assert!(addr != 0);
+    // Simulate the check against a malicious value directly.
+    assert!(!(base..base + 1).contains(&addr));
+    drop(sys);
+    assert_eq!(rt.stats.iago_blocks, 0);
+}
+
+#[test]
+fn sealed_paging_roundtrip() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let binary = EnclaveBinary::build("pager", 4096, 4096).with_heap_pages(4);
+    let mut handle = install_enclave(&mut cvm, pid, &binary).unwrap();
+    let victim_vaddr = handle.heap_base; // first heap page
+    // Write a recognizable value through the enclave first.
+    {
+        let mut rt = EnclaveRuntime::new(handle.clone());
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        sys.mem_write(victim_vaddr, b"persist me").unwrap();
+        sys.deactivate().unwrap();
+    }
+    // OS evicts the page: ciphertext lands in its swap file.
+    let path = swap_out_page(&mut cvm, &handle, victim_vaddr).expect("page out");
+    {
+        let enclave = cvm.gate.services.enc.enclave(handle.id).unwrap();
+        assert_eq!(enclave.sealed_pages(), 1);
+        // Swap file exists and does not contain the plaintext.
+        let mut sys = cvm.sys(pid);
+        let fd = sys.open(&path, OpenFlags::rdonly()).unwrap();
+        let mut sealed = vec![0u8; PAGE_SIZE];
+        sys.read(fd, &mut sealed).unwrap();
+        sys.close(fd).ok();
+        assert!(!sealed.windows(10).any(|w| w == b"persist me"), "sealed page leaks plaintext");
+    }
+    // Page back in: contents restored, enclave-readable.
+    swap_in_page(&mut cvm, &mut handle, victim_vaddr).expect("page in");
+    {
+        let mut rt = EnclaveRuntime::new(handle.clone());
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        let mut buf = [0u8; 10];
+        sys.mem_read(victim_vaddr, &mut buf).unwrap();
+        assert_eq!(&buf, b"persist me");
+        sys.deactivate().unwrap();
+    }
+}
+
+#[test]
+fn rollback_attack_on_sealed_page_detected() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let binary = EnclaveBinary::build("rollback", 4096, 4096).with_heap_pages(4);
+    let mut handle = install_enclave(&mut cvm, pid, &binary).unwrap();
+    let vaddr = handle.heap_base;
+    {
+        let mut rt = EnclaveRuntime::new(handle.clone());
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        sys.mem_write(vaddr, b"version 1").unwrap();
+        sys.deactivate().unwrap();
+    }
+    // Evict v1, keep a copy of the sealed bytes (the attacker's stash).
+    let path = swap_out_page(&mut cvm, &handle, vaddr).unwrap();
+    let stale: Vec<u8> = {
+        let mut sys = cvm.sys(pid);
+        let fd = sys.open(&path, OpenFlags::rdonly()).unwrap();
+        let mut sealed = vec![0u8; PAGE_SIZE];
+        sys.read(fd, &mut sealed).unwrap();
+        sys.close(fd).ok();
+        sealed
+    };
+    // Restore, update to v2, evict again.
+    swap_in_page(&mut cvm, &mut handle, vaddr).unwrap();
+    {
+        let mut rt = EnclaveRuntime::new(handle.clone());
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        sys.mem_write(vaddr, b"version 2").unwrap();
+        sys.deactivate().unwrap();
+    }
+    let path2 = swap_out_page(&mut cvm, &handle, vaddr).unwrap();
+    // The attacker overwrites the swap file with the stale v1 seal.
+    {
+        let mut sys = cvm.sys(pid);
+        let fd = sys.open(&path2, OpenFlags::wronly_create_trunc()).unwrap();
+        sys.write(fd, &stale).unwrap();
+        sys.close(fd).ok();
+    }
+    // Page-in must refuse: freshness counter mismatch.
+    let err = swap_in_page(&mut cvm, &mut handle, vaddr);
+    assert!(err.is_err(), "rollback must be detected");
+}
+
+#[test]
+fn destroy_scrubs_and_returns_memory() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let avail_before = cvm.kernel.frames.available();
+    let handle =
+        install_enclave(&mut cvm, pid, &EnclaveBinary::build("teardown", 2048, 1024)).unwrap();
+    let secret_frame = handle.frames[0];
+    remove_enclave(&mut cvm, &handle).expect("destroy");
+    assert_eq!(cvm.gate.services.enc.count(), 0);
+    // Frame is back, OS-accessible, and scrubbed.
+    assert!(cvm
+        .hv
+        .machine
+        .rmp()
+        .check(secret_frame, Vmpl::Vmpl3, Access::Read)
+        .is_ok());
+    let contents = cvm.hv.machine.read(Vmpl::Vmpl3, gpa_of(secret_frame), PAGE_SIZE).unwrap();
+    assert!(contents.iter().all(|b| *b == 0), "enclave contents must be scrubbed");
+    // Frames returned to the pool (minus page-table frames kept by procs).
+    assert!(cvm.kernel.frames.available() + 64 >= avail_before);
+}
+
+#[test]
+fn two_enclaves_have_disjoint_frames_and_keys() {
+    let mut cvm = cvm();
+    let pid_a = cvm.spawn();
+    let pid_b = cvm.spawn();
+    let ha = install_enclave(&mut cvm, pid_a, &EnclaveBinary::build("a", 2048, 0)).unwrap();
+    let hb = install_enclave(&mut cvm, pid_b, &EnclaveBinary::build("b", 2048, 0)).unwrap();
+    assert_ne!(ha.id, hb.id);
+    for f in &ha.frames {
+        assert!(!hb.frames.contains(f), "physical disjointness violated");
+    }
+    assert_ne!(ha.ghcb_gfn, hb.ghcb_gfn, "per-thread GHCBs are distinct");
+    // Measurements differ (different binaries).
+    let ma = cvm.gate.services.enc.enclave(ha.id).unwrap().measurement;
+    let mb = cvm.gate.services.enc.enclave(hb.id).unwrap().measurement;
+    assert_ne!(ma, mb);
+}
+
+#[test]
+fn enclave_mmap_reaches_shared_memory() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("mapper", 1024, 0)).unwrap();
+    let mut rt = EnclaveRuntime::new(handle);
+    let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+    let addr = sys.mmap(2 * PAGE_SIZE).unwrap();
+    // The enclave can use the new shared region through its own tables
+    // (EncMapSync mirrored it into the protected clone).
+    let aspace = sys.cvm.gate.services.enc.enclave(sys.rt.handle.id).unwrap().aspace;
+    aspace
+        .write_virt(&mut sys.cvm.hv.machine, addr, b"shared via sync", Vmpl::Vmpl2, Cpl::Cpl3)
+        .expect("enclave reaches mmapped shared buffer");
+    sys.munmap(addr, 2 * PAGE_SIZE).unwrap();
+    assert!(aspace
+        .read_virt(&sys.cvm.hv.machine, addr, 4, Vmpl::Vmpl2, Cpl::Cpl3)
+        .is_err(), "unmap synced into the clone");
+    drop(sys);
+}

@@ -1,0 +1,146 @@
+//! Fault and error types for the SNP model.
+
+use crate::perms::{Access, Vmpl};
+use std::fmt;
+
+/// A nested page fault (`#NPF`) — the hardware's response to an RMP or VMPL
+/// permission violation.
+///
+/// In a real SEV-SNP guest, an RMP violation that the guest cannot resolve
+/// halts the CVM ("security by crash", §5.1/§8.3 of the paper). The model
+/// surfaces the fault as data so tests can assert on the exact violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NestedPageFault {
+    /// Guest frame number of the faulting page.
+    pub gfn: u64,
+    /// VMPL that attempted the access.
+    pub vmpl: Vmpl,
+    /// The access that was attempted.
+    pub access: Access,
+    /// Why the access was refused.
+    pub cause: NpfCause,
+}
+
+/// The specific RMP condition that produced an [`NestedPageFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NpfCause {
+    /// Page is not assigned to the guest.
+    NotAssigned,
+    /// Page is assigned but has not been `PVALIDATE`d.
+    NotValidated,
+    /// The VMPL permission mask does not allow this access.
+    VmplDenied,
+    /// The page holds a VMSA and is immutable to software.
+    VmsaImmutable,
+    /// Guest-physical address is outside the machine.
+    OutOfRange,
+}
+
+impl fmt::Display for NestedPageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#NPF at gfn {:#x} from {} ({:?}): {:?}",
+            self.gfn, self.vmpl, self.access, self.cause
+        )
+    }
+}
+
+impl std::error::Error for NestedPageFault {}
+
+/// Why the simulated CVM halted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Continuous nested page faults (the paper's observed halt mode for
+    /// RMP violations, §8.3).
+    NestedPageFault(NestedPageFault),
+    /// A trusted component detected tampering and stopped the machine.
+    SecurityViolation(String),
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// Errors from SNP instruction semantics and machine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnpError {
+    /// An access violated the RMP.
+    Npf(NestedPageFault),
+    /// `RMPADJUST`/`PVALIDATE` executed with insufficient privilege — the
+    /// CPU raises a general-protection-style fault.
+    InsufficientVmpl {
+        /// VMPL that executed the instruction.
+        executing: Vmpl,
+        /// VMPL the instruction targeted.
+        target: Vmpl,
+    },
+    /// `RMPADJUST` tried to grant a permission the executor itself lacks.
+    PermEscalation,
+    /// `PVALIDATE` on an already-validated page (or vice versa) — the
+    /// double-validation guard that prevents remap attacks.
+    ValidationMismatch {
+        /// The faulting guest frame.
+        gfn: u64,
+    },
+    /// Operation on a frame outside guest memory.
+    OutOfRange {
+        /// The faulting guest frame.
+        gfn: u64,
+    },
+    /// Operation requires a VMSA page but the frame is not one (or is one
+    /// when it must not be).
+    NotAVmsa {
+        /// The faulting guest frame.
+        gfn: u64,
+    },
+    /// The machine has halted and refuses further guest operations.
+    Halted(HaltReason),
+}
+
+impl fmt::Display for SnpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnpError::Npf(npf) => write!(f, "{npf}"),
+            SnpError::InsufficientVmpl { executing, target } => {
+                write!(f, "{executing} may not operate on {target}")
+            }
+            SnpError::PermEscalation => {
+                write!(f, "rmpadjust attempted to grant permissions the executor lacks")
+            }
+            SnpError::ValidationMismatch { gfn } => {
+                write!(f, "pvalidate state mismatch at gfn {gfn:#x}")
+            }
+            SnpError::OutOfRange { gfn } => write!(f, "gfn {gfn:#x} outside guest memory"),
+            SnpError::NotAVmsa { gfn } => write!(f, "gfn {gfn:#x} is not a usable VMSA"),
+            SnpError::Halted(r) => write!(f, "machine halted: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SnpError {}
+
+impl From<NestedPageFault> for SnpError {
+    fn from(npf: NestedPageFault) -> Self {
+        SnpError::Npf(npf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::Access;
+
+    #[test]
+    fn display_is_informative() {
+        let npf = NestedPageFault {
+            gfn: 0x42,
+            vmpl: Vmpl::Vmpl3,
+            access: Access::Write,
+            cause: NpfCause::VmplDenied,
+        };
+        let s = format!("{npf}");
+        assert!(s.contains("0x42"));
+        assert!(s.contains("VMPL-3"));
+        let e: SnpError = npf.into();
+        assert!(format!("{e}").contains("#NPF"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Raw guest-physical memory.
+//!
+//! A flat byte array divided into 4 KiB frames. `GuestMemory` performs no
+//! permission checks — those live in [`crate::rmp`] and are applied by
+//! [`crate::machine::Machine`]'s checked accessors. Only the hypervisor
+//! model and the "hardware" (page-table walker, VMSA save/restore) touch
+//! memory raw.
+
+/// Size of one guest page/frame in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Returns the guest frame number containing guest-physical address `gpa`.
+pub const fn gfn_of(gpa: u64) -> u64 {
+    gpa / PAGE_SIZE as u64
+}
+
+/// Returns the base guest-physical address of frame `gfn`.
+pub const fn gpa_of(gfn: u64) -> u64 {
+    gfn * PAGE_SIZE as u64
+}
+
+/// Flat guest-physical memory.
+#[derive(Debug, Clone)]
+pub struct GuestMemory {
+    bytes: Vec<u8>,
+}
+
+impl GuestMemory {
+    /// Allocates `frames` zeroed 4 KiB frames.
+    pub fn new(frames: usize) -> Self {
+        GuestMemory { bytes: vec![0u8; frames * PAGE_SIZE] }
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> u64 {
+        (self.bytes.len() / PAGE_SIZE) as u64
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory is empty (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Whether the byte range `[gpa, gpa+len)` is inside memory.
+    pub fn in_range(&self, gpa: u64, len: usize) -> bool {
+        (gpa as usize)
+            .checked_add(len)
+            .map(|end| end <= self.bytes.len())
+            .unwrap_or(false)
+    }
+
+    /// Raw read; panics on out-of-range (callers bound-check first).
+    pub fn read_raw(&self, gpa: u64, out: &mut [u8]) {
+        let start = gpa as usize;
+        out.copy_from_slice(&self.bytes[start..start + out.len()]);
+    }
+
+    /// Raw write; panics on out-of-range (callers bound-check first).
+    pub fn write_raw(&mut self, gpa: u64, data: &[u8]) {
+        let start = gpa as usize;
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Raw u64 read (little-endian, matching x86).
+    pub fn read_u64_raw(&self, gpa: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_raw(gpa, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Raw u64 write (little-endian).
+    pub fn write_u64_raw(&mut self, gpa: u64, value: u64) {
+        self.write_raw(gpa, &value.to_le_bytes());
+    }
+
+    /// Borrow of one whole frame.
+    pub fn frame(&self, gfn: u64) -> &[u8] {
+        let start = gfn as usize * PAGE_SIZE;
+        &self.bytes[start..start + PAGE_SIZE]
+    }
+
+    /// Mutable borrow of one whole frame.
+    pub fn frame_mut(&mut self, gfn: u64) -> &mut [u8] {
+        let start = gfn as usize * PAGE_SIZE;
+        &mut self.bytes[start..start + PAGE_SIZE]
+    }
+
+    /// Zeroes a frame (used when pages change ownership).
+    pub fn scrub_frame(&mut self, gfn: u64) {
+        self.frame_mut(gfn).fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gfn_gpa_roundtrip() {
+        assert_eq!(gfn_of(0), 0);
+        assert_eq!(gfn_of(4095), 0);
+        assert_eq!(gfn_of(4096), 1);
+        assert_eq!(gpa_of(3), 3 * 4096);
+        assert_eq!(gfn_of(gpa_of(77)), 77);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GuestMemory::new(4);
+        m.write_raw(100, b"hello");
+        let mut buf = [0u8; 5];
+        m.read_raw(100, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = GuestMemory::new(1);
+        m.write_u64_raw(8, 0xdead_beef_cafe_babe);
+        assert_eq!(m.read_u64_raw(8), 0xdead_beef_cafe_babe);
+    }
+
+    #[test]
+    fn range_checks() {
+        let m = GuestMemory::new(2);
+        assert!(m.in_range(0, PAGE_SIZE * 2));
+        assert!(!m.in_range(0, PAGE_SIZE * 2 + 1));
+        assert!(!m.in_range(u64::MAX, 1));
+        assert!(m.in_range(PAGE_SIZE as u64 * 2, 0));
+    }
+
+    #[test]
+    fn frame_views_and_scrub() {
+        let mut m = GuestMemory::new(2);
+        m.frame_mut(1)[0] = 0xaa;
+        assert_eq!(m.frame(1)[0], 0xaa);
+        m.scrub_frame(1);
+        assert!(m.frame(1).iter().all(|&b| b == 0));
+    }
+}

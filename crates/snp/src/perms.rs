@@ -1,0 +1,254 @@
+//! Virtual machine privilege levels (VMPL) and x86 protection rings (CPL).
+//!
+//! SEV-SNP provides four VMPLs (§3 of the paper); lower numbers are more
+//! privileged, like CPL. Veil combines both axes into *dual-factor privilege
+//! domains* (§5.1): `Dom_MON = (VMPL0, CPL0)`, `Dom_SER = (VMPL1, CPL0)`,
+//! `Dom_ENC = (VMPL2, CPL3)`, `Dom_UNT = (VMPL3, CPL0/3)`.
+
+use std::fmt;
+
+/// A virtual machine privilege level. Lower numbers are more privileged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Vmpl {
+    /// Most privileged — the Veil security monitor runs here.
+    Vmpl0 = 0,
+    /// Protected services level.
+    Vmpl1 = 1,
+    /// Enclave level.
+    Vmpl2 = 2,
+    /// Least privileged — the commodity OS and its processes.
+    Vmpl3 = 3,
+}
+
+impl Vmpl {
+    /// All levels, most privileged first.
+    pub const ALL: [Vmpl; 4] = [Vmpl::Vmpl0, Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3];
+
+    /// Converts a raw level number (0–3).
+    pub fn from_index(i: usize) -> Option<Vmpl> {
+        Vmpl::ALL.get(i).copied()
+    }
+
+    /// The raw level number.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether `self` is strictly more privileged than `other`
+    /// (numerically lower).
+    pub fn dominates(self, other: Vmpl) -> bool {
+        (self as u8) < (other as u8)
+    }
+}
+
+impl fmt::Display for Vmpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VMPL-{}", *self as u8)
+    }
+}
+
+/// x86 current privilege level (protection ring). Only ring 0 and ring 3
+/// matter to Veil.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cpl {
+    /// Supervisor mode.
+    Cpl0 = 0,
+    /// User mode.
+    Cpl3 = 3,
+}
+
+impl fmt::Display for Cpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CPL-{}", *self as u8)
+    }
+}
+
+/// Per-VMPL page permission mask tracked in the RMP.
+///
+/// SEV-SNP tracks an expressive permission set per (page, VMPL): read,
+/// write, user-execute, and supervisor-execute (§3). Implemented as a
+/// transparent bit mask with `bitflags`-style combinators, kept hand-rolled
+/// to stay dependency-free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VmplPerms(u8);
+
+impl VmplPerms {
+    /// Permission to read the page.
+    pub const READ: VmplPerms = VmplPerms(1 << 0);
+    /// Permission to write the page.
+    pub const WRITE: VmplPerms = VmplPerms(1 << 1);
+    /// Permission to execute the page in user mode (CPL-3).
+    pub const USER_EXEC: VmplPerms = VmplPerms(1 << 2);
+    /// Permission to execute the page in supervisor mode (CPL-0).
+    pub const SUPER_EXEC: VmplPerms = VmplPerms(1 << 3);
+
+    /// No permissions.
+    pub const fn empty() -> VmplPerms {
+        VmplPerms(0)
+    }
+
+    /// All permissions.
+    pub const fn all() -> VmplPerms {
+        VmplPerms(0b1111)
+    }
+
+    /// Read + write (no execute).
+    pub const fn rw() -> VmplPerms {
+        VmplPerms(0b0011)
+    }
+
+    /// Read-only.
+    pub const fn r() -> VmplPerms {
+        VmplPerms(0b0001)
+    }
+
+    /// Read + supervisor execute (kernel text).
+    pub const fn rx_super() -> VmplPerms {
+        VmplPerms(0b1001)
+    }
+
+    /// Read + user execute (enclave/user text).
+    pub const fn rx_user() -> VmplPerms {
+        VmplPerms(0b0101)
+    }
+
+    /// Whether every bit of `other` is present in `self`.
+    pub const fn contains(self, other: VmplPerms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no bits are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union.
+    #[must_use]
+    pub const fn union(self, other: VmplPerms) -> VmplPerms {
+        VmplPerms(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[must_use]
+    pub const fn intersection(self, other: VmplPerms) -> VmplPerms {
+        VmplPerms(self.0 & other.0)
+    }
+
+    /// Difference (`self` without the bits of `other`).
+    #[must_use]
+    pub const fn difference(self, other: VmplPerms) -> VmplPerms {
+        VmplPerms(self.0 & !other.0)
+    }
+
+    /// Raw bits (for serialization into simulated structures).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits, masking unknown bits away.
+    pub const fn from_bits_truncate(bits: u8) -> VmplPerms {
+        VmplPerms(bits & 0b1111)
+    }
+}
+
+impl std::ops::BitOr for VmplPerms {
+    type Output = VmplPerms;
+    fn bitor(self, rhs: VmplPerms) -> VmplPerms {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitAnd for VmplPerms {
+    type Output = VmplPerms;
+    fn bitand(self, rhs: VmplPerms) -> VmplPerms {
+        self.intersection(rhs)
+    }
+}
+
+impl fmt::Debug for VmplPerms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        s.push(if self.contains(VmplPerms::READ) { 'r' } else { '-' });
+        s.push(if self.contains(VmplPerms::WRITE) { 'w' } else { '-' });
+        s.push(if self.contains(VmplPerms::USER_EXEC) { 'u' } else { '-' });
+        s.push(if self.contains(VmplPerms::SUPER_EXEC) { 's' } else { '-' });
+        write!(f, "VmplPerms({s})")
+    }
+}
+
+impl fmt::Display for VmplPerms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The kind of memory access being attempted, used for RMP checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch at the given ring.
+    Execute(Cpl),
+}
+
+impl Access {
+    /// The permission bit this access requires.
+    pub fn required_perm(self) -> VmplPerms {
+        match self {
+            Access::Read => VmplPerms::READ,
+            Access::Write => VmplPerms::WRITE,
+            Access::Execute(Cpl::Cpl3) => VmplPerms::USER_EXEC,
+            Access::Execute(Cpl::Cpl0) => VmplPerms::SUPER_EXEC,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmpl_ordering() {
+        assert!(Vmpl::Vmpl0.dominates(Vmpl::Vmpl3));
+        assert!(Vmpl::Vmpl1.dominates(Vmpl::Vmpl2));
+        assert!(!Vmpl::Vmpl3.dominates(Vmpl::Vmpl0));
+        assert!(!Vmpl::Vmpl2.dominates(Vmpl::Vmpl2));
+    }
+
+    #[test]
+    fn vmpl_index_roundtrip() {
+        for v in Vmpl::ALL {
+            assert_eq!(Vmpl::from_index(v.index()), Some(v));
+        }
+        assert_eq!(Vmpl::from_index(4), None);
+    }
+
+    #[test]
+    fn perms_algebra() {
+        let rw = VmplPerms::READ | VmplPerms::WRITE;
+        assert!(rw.contains(VmplPerms::READ));
+        assert!(!rw.contains(VmplPerms::SUPER_EXEC));
+        assert_eq!(rw, VmplPerms::rw());
+        assert_eq!(rw.difference(VmplPerms::WRITE), VmplPerms::r());
+        assert!(VmplPerms::empty().is_empty());
+        assert_eq!(VmplPerms::all().bits(), 0b1111);
+        assert_eq!(VmplPerms::from_bits_truncate(0xff), VmplPerms::all());
+    }
+
+    #[test]
+    fn access_maps_to_perm() {
+        assert_eq!(Access::Read.required_perm(), VmplPerms::READ);
+        assert_eq!(Access::Write.required_perm(), VmplPerms::WRITE);
+        assert_eq!(Access::Execute(Cpl::Cpl0).required_perm(), VmplPerms::SUPER_EXEC);
+        assert_eq!(Access::Execute(Cpl::Cpl3).required_perm(), VmplPerms::USER_EXEC);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", VmplPerms::rw()), "VmplPerms(rw--)");
+        assert_eq!(format!("{}", Vmpl::Vmpl2), "VMPL-2");
+        assert_eq!(format!("{}", Cpl::Cpl0), "CPL-0");
+    }
+}

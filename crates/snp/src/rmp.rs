@@ -1,0 +1,323 @@
+//! The reverse map table (RMP).
+//!
+//! SEV-SNP's RMP tracks, for every guest-physical page: whether the page is
+//! assigned to the guest (private) or shared with the hypervisor, whether
+//! the guest has validated it (`PVALIDATE`), whether it holds a VMSA, and a
+//! permission mask per VMPL (§3). The hardware consults the RMP on every
+//! nested-page-table walk; the model consults it on every checked access.
+
+use crate::fault::{NestedPageFault, NpfCause};
+use crate::perms::{Access, Vmpl, VmplPerms};
+
+/// Assignment state of a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Shared with the hypervisor: unencrypted, accessible to everyone.
+    /// GHCBs and bounce buffers live here.
+    Shared,
+    /// Assigned to the guest but not yet validated — inaccessible.
+    AssignedUnvalidated,
+    /// Private guest memory, validated and subject to VMPL permissions.
+    Validated,
+}
+
+/// One RMP entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmpEntry {
+    state: PageState,
+    /// Page holds a VMSA: immutable to all guest software.
+    vmsa: bool,
+    /// Permission masks indexed by VMPL. VMPL-0 is architecturally always
+    /// full-permission on private pages and cannot be restricted.
+    perms: [VmplPerms; 4],
+}
+
+impl Default for RmpEntry {
+    fn default() -> Self {
+        RmpEntry::shared()
+    }
+}
+
+impl RmpEntry {
+    /// A hypervisor-shared page.
+    pub fn shared() -> Self {
+        RmpEntry { state: PageState::Shared, vmsa: false, perms: [VmplPerms::all(); 4] }
+    }
+
+    /// Current page state.
+    pub fn state(&self) -> PageState {
+        self.state
+    }
+
+    /// Whether this page holds a VMSA.
+    pub fn is_vmsa(&self) -> bool {
+        self.vmsa
+    }
+
+    /// Permission mask for `vmpl`.
+    pub fn perms(&self, vmpl: Vmpl) -> VmplPerms {
+        self.perms[vmpl.index()]
+    }
+}
+
+/// The reverse map table for the whole guest-physical space.
+#[derive(Debug, Clone)]
+pub struct Rmp {
+    entries: Vec<RmpEntry>,
+}
+
+impl Rmp {
+    /// Creates an RMP for `frames` pages, all initially hypervisor-shared
+    /// (pages start hypervisor-owned; the launch flow assigns + validates).
+    pub fn new(frames: usize) -> Self {
+        Rmp { entries: vec![RmpEntry::shared(); frames] }
+    }
+
+    /// Number of tracked frames.
+    pub fn frames(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Immutable view of an entry.
+    pub fn entry(&self, gfn: u64) -> Option<&RmpEntry> {
+        self.entries.get(gfn as usize)
+    }
+
+    fn entry_mut(&mut self, gfn: u64) -> Option<&mut RmpEntry> {
+        self.entries.get_mut(gfn as usize)
+    }
+
+    /// Hypervisor-side `RMPUPDATE`: assigns a shared page to the guest
+    /// (private, unvalidated). Returns `false` if the frame is out of range
+    /// or already assigned.
+    pub fn assign(&mut self, gfn: u64) -> bool {
+        match self.entry_mut(gfn) {
+            Some(e) if e.state == PageState::Shared => {
+                e.state = PageState::AssignedUnvalidated;
+                // Fresh private pages belong to VMPL-0 alone; lower VMPLs
+                // get nothing until an explicit RMPADJUST grants it. This
+                // is why Veil's boot must touch every page (§9.1).
+                e.perms = [
+                    VmplPerms::all(),
+                    VmplPerms::empty(),
+                    VmplPerms::empty(),
+                    VmplPerms::empty(),
+                ];
+                e.vmsa = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Hypervisor-side `RMPUPDATE`: reclaims a page to the shared state.
+    /// Fails (returns `false`) for VMSA pages — the hypervisor cannot
+    /// steal an in-use VMSA without the guest noticing (the machine layer
+    /// scrubs contents on reclaim).
+    pub fn reclaim(&mut self, gfn: u64) -> bool {
+        match self.entry_mut(gfn) {
+            Some(e) if !e.vmsa => {
+                e.state = PageState::Shared;
+                e.perms = [VmplPerms::all(); 4];
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Guest-side `PVALIDATE` state flip, privilege-checked by the machine
+    /// layer. Returns `false` on state mismatch (double validation).
+    pub fn set_validated(&mut self, gfn: u64, validated: bool) -> bool {
+        match self.entry_mut(gfn) {
+            Some(e) => match (e.state, validated) {
+                (PageState::AssignedUnvalidated, true) => {
+                    e.state = PageState::Validated;
+                    true
+                }
+                (PageState::Validated, false) => {
+                    e.state = PageState::AssignedUnvalidated;
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Sets the permission mask for (`gfn`, `vmpl`). Privilege rules are
+    /// enforced by the machine layer (`rmpadjust`).
+    pub fn set_perms(&mut self, gfn: u64, vmpl: Vmpl, perms: VmplPerms) -> bool {
+        match self.entry_mut(gfn) {
+            Some(e) => {
+                e.perms[vmpl.index()] = perms;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks/unmarks a page as holding a VMSA.
+    pub fn set_vmsa(&mut self, gfn: u64, vmsa: bool) -> bool {
+        match self.entry_mut(gfn) {
+            Some(e) if e.state == PageState::Validated => {
+                e.vmsa = vmsa;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The hardware access check: can `vmpl` perform `access` on `gfn`?
+    pub fn check(&self, gfn: u64, vmpl: Vmpl, access: Access) -> Result<(), NestedPageFault> {
+        let fault = |cause| NestedPageFault { gfn, vmpl, access, cause };
+        let entry = match self.entry(gfn) {
+            Some(e) => e,
+            None => return Err(fault(NpfCause::OutOfRange)),
+        };
+        match entry.state {
+            // Shared pages are accessible to everyone (they are outside
+            // the encrypted domain).
+            PageState::Shared => Ok(()),
+            PageState::AssignedUnvalidated => Err(fault(NpfCause::NotValidated)),
+            PageState::Validated => {
+                if entry.vmsa {
+                    // VMSA pages are immutable to software at any VMPL;
+                    // only the "hardware" (machine layer) touches them.
+                    return Err(fault(NpfCause::VmsaImmutable));
+                }
+                if entry.perms[vmpl.index()].contains(access.required_perm()) {
+                    Ok(())
+                } else {
+                    Err(fault(NpfCause::VmplDenied))
+                }
+            }
+        }
+    }
+
+    /// Whether the hypervisor may read/write this page (shared pages only).
+    pub fn hypervisor_accessible(&self, gfn: u64) -> bool {
+        matches!(self.entry(gfn).map(RmpEntry::state), Some(PageState::Shared))
+    }
+
+    /// Iterator over (gfn, entry).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &RmpEntry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (i as u64, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::Cpl;
+
+    /// Assigns + validates frame 1 and grants all VMPLs full access
+    /// (what VeilMon's boot does for kernel-pool pages).
+    fn validated_rmp() -> Rmp {
+        let mut rmp = Rmp::new(8);
+        assert!(rmp.assign(1));
+        assert!(rmp.set_validated(1, true));
+        for vmpl in [Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3] {
+            rmp.set_perms(1, vmpl, VmplPerms::all());
+        }
+        rmp
+    }
+
+    #[test]
+    fn fresh_private_pages_are_vmpl0_only() {
+        let mut rmp = Rmp::new(4);
+        rmp.assign(2);
+        rmp.set_validated(2, true);
+        assert!(rmp.check(2, Vmpl::Vmpl0, Access::Write).is_ok());
+        for vmpl in [Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3] {
+            let err = rmp.check(2, vmpl, Access::Read).unwrap_err();
+            assert_eq!(err.cause, NpfCause::VmplDenied, "{vmpl}");
+        }
+    }
+
+    #[test]
+    fn shared_pages_open_to_all() {
+        let rmp = Rmp::new(2);
+        for vmpl in Vmpl::ALL {
+            assert!(rmp.check(0, vmpl, Access::Read).is_ok());
+            assert!(rmp.check(0, vmpl, Access::Write).is_ok());
+        }
+        assert!(rmp.hypervisor_accessible(0));
+    }
+
+    #[test]
+    fn unvalidated_pages_fault() {
+        let mut rmp = Rmp::new(2);
+        rmp.assign(0);
+        let err = rmp.check(0, Vmpl::Vmpl0, Access::Read).unwrap_err();
+        assert_eq!(err.cause, NpfCause::NotValidated);
+        assert!(!rmp.hypervisor_accessible(0));
+    }
+
+    #[test]
+    fn validated_respects_vmpl_perms() {
+        let mut rmp = validated_rmp();
+        rmp.set_perms(1, Vmpl::Vmpl3, VmplPerms::r());
+        assert!(rmp.check(1, Vmpl::Vmpl3, Access::Read).is_ok());
+        let err = rmp.check(1, Vmpl::Vmpl3, Access::Write).unwrap_err();
+        assert_eq!(err.cause, NpfCause::VmplDenied);
+        // Other VMPLs unaffected.
+        assert!(rmp.check(1, Vmpl::Vmpl0, Access::Write).is_ok());
+    }
+
+    #[test]
+    fn exec_perms_split_by_ring() {
+        let mut rmp = validated_rmp();
+        rmp.set_perms(1, Vmpl::Vmpl3, VmplPerms::rx_user());
+        assert!(rmp.check(1, Vmpl::Vmpl3, Access::Execute(Cpl::Cpl3)).is_ok());
+        assert!(rmp.check(1, Vmpl::Vmpl3, Access::Execute(Cpl::Cpl0)).is_err());
+        rmp.set_perms(1, Vmpl::Vmpl3, VmplPerms::rx_super());
+        assert!(rmp.check(1, Vmpl::Vmpl3, Access::Execute(Cpl::Cpl0)).is_ok());
+        assert!(rmp.check(1, Vmpl::Vmpl3, Access::Execute(Cpl::Cpl3)).is_err());
+    }
+
+    #[test]
+    fn vmsa_pages_immutable() {
+        let mut rmp = validated_rmp();
+        assert!(rmp.set_vmsa(1, true));
+        for vmpl in Vmpl::ALL {
+            let err = rmp.check(1, vmpl, Access::Read).unwrap_err();
+            assert_eq!(err.cause, NpfCause::VmsaImmutable);
+        }
+        // Hypervisor cannot reclaim a VMSA page.
+        assert!(!rmp.reclaim(1));
+        assert!(rmp.set_vmsa(1, false));
+        assert!(rmp.reclaim(1));
+    }
+
+    #[test]
+    fn double_validation_rejected() {
+        let mut rmp = Rmp::new(2);
+        rmp.assign(0);
+        assert!(rmp.set_validated(0, true));
+        assert!(!rmp.set_validated(0, true), "double validate must fail");
+        assert!(rmp.set_validated(0, false));
+        assert!(!rmp.set_validated(0, false), "double invalidate must fail");
+    }
+
+    #[test]
+    fn cannot_assign_twice() {
+        let mut rmp = Rmp::new(2);
+        assert!(rmp.assign(0));
+        assert!(!rmp.assign(0));
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let rmp = Rmp::new(2);
+        let err = rmp.check(99, Vmpl::Vmpl0, Access::Read).unwrap_err();
+        assert_eq!(err.cause, NpfCause::OutOfRange);
+    }
+
+    #[test]
+    fn reclaim_resets_perms() {
+        let mut rmp = validated_rmp();
+        rmp.set_perms(1, Vmpl::Vmpl3, VmplPerms::empty());
+        assert!(rmp.reclaim(1));
+        assert!(rmp.check(1, Vmpl::Vmpl3, Access::Write).is_ok());
+    }
+}

@@ -1,0 +1,84 @@
+//! Virtual machine save areas (VMSA).
+//!
+//! Each VCPU *instance* has a VMSA holding its protected register state;
+//! the VMSA also pins the instance's VMPL for its whole lifetime (§3).
+//! Veil exploits this by creating one VMSA per (VCPU, domain) — the
+//! "replicated VCPUs" of §5.2 — and switching between them through the
+//! hypervisor.
+
+use crate::perms::{Cpl, Vmpl};
+
+/// Architectural register state saved in a VMSA.
+///
+/// Only the registers the simulation consults are modelled; the cycle cost
+/// of saving/restoring the full real register file is charged by the cost
+/// model instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Regs {
+    /// Instruction pointer (symbolic entry address; see `veil-core::layout`).
+    pub rip: u64,
+    /// Stack pointer.
+    pub rsp: u64,
+    /// General-purpose argument/scratch registers.
+    pub rax: u64,
+    /// See [`Regs::rax`].
+    pub rbx: u64,
+    /// See [`Regs::rax`].
+    pub rcx: u64,
+    /// See [`Regs::rax`].
+    pub rdx: u64,
+    /// See [`Regs::rax`].
+    pub rdi: u64,
+    /// See [`Regs::rax`].
+    pub rsi: u64,
+    /// Page-table root (guest-physical address of the top-level table).
+    pub cr3: u64,
+}
+
+/// A virtual machine save area: one VCPU instance at one fixed VMPL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vmsa {
+    /// The VCPU this instance belongs to. Replicas share a VCPU id.
+    pub vcpu_id: u32,
+    /// The instance's privilege level — immutable after creation.
+    vmpl: Vmpl,
+    /// Ring the instance runs at when resumed.
+    pub cpl: Cpl,
+    /// Saved register state.
+    pub regs: Regs,
+    /// Whether the hypervisor may currently run this instance.
+    pub runnable: bool,
+}
+
+impl Vmsa {
+    /// Creates a VMSA for `vcpu_id` pinned to `vmpl`, starting at `cpl`.
+    pub fn new(vcpu_id: u32, vmpl: Vmpl, cpl: Cpl) -> Self {
+        Vmsa { vcpu_id, vmpl, cpl, regs: Regs::default(), runnable: true }
+    }
+
+    /// The immutable VMPL of this instance.
+    pub fn vmpl(&self) -> Vmpl {
+        self.vmpl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmpl_is_fixed_at_creation() {
+        let v = Vmsa::new(0, Vmpl::Vmpl2, Cpl::Cpl3);
+        assert_eq!(v.vmpl(), Vmpl::Vmpl2);
+        assert_eq!(v.cpl, Cpl::Cpl3);
+        assert!(v.runnable);
+        // No API exists to mutate `vmpl` — enforced by the private field.
+    }
+
+    #[test]
+    fn regs_default_zeroed() {
+        let v = Vmsa::new(1, Vmpl::Vmpl0, Cpl::Cpl0);
+        assert_eq!(v.regs, Regs::default());
+        assert_eq!(v.regs.rip, 0);
+    }
+}

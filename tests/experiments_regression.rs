@@ -1,0 +1,140 @@
+//! Regression guards over the evaluation harness: the paper's *shapes*
+//! must keep holding as the code evolves. Small scales keep this fast.
+
+use veil_bench::*;
+
+#[test]
+fn boot_time_shape() {
+    let r = boot_time(2048);
+    assert!(r.veil_cycles > r.native_cycles, "Veil boot must cost more");
+    assert!(r.rmpadjust_share > 0.70, "paper: >70% in RMPADJUST, got {}", r.rmpadjust_share);
+    assert!(
+        (1.0..4.0).contains(&r.extrapolated_2gb_seconds),
+        "paper: ~2 s on 2 GB, got {:.2} s",
+        r.extrapolated_2gb_seconds
+    );
+    let pct = r.increase_over_full_boot();
+    assert!((0.05..0.30).contains(&pct), "paper: +13%, got {pct:.2}");
+}
+
+#[test]
+fn domain_switch_matches_paper_constant() {
+    let r = domain_switch(10_000);
+    assert_eq!(r.switch_cycles, 7135, "paper-measured switch cost");
+    assert_eq!(r.vmcall_cycles, 1100);
+}
+
+#[test]
+fn background_impact_is_negligible() {
+    for row in background(1) {
+        assert!(
+            row.overhead() < 0.02,
+            "paper: <2% background impact, {} got {:.3}",
+            row.program,
+            row.overhead()
+        );
+        assert!(row.checksum_match, "{} output must match", row.program);
+    }
+}
+
+#[test]
+fn fig4_slowdowns_in_paper_band() {
+    for row in fig4(50) {
+        let s = row.slowdown();
+        assert!(
+            (3.0..8.0).contains(&s),
+            "{}: slowdown {s:.1}x outside the paper-shaped band",
+            row.name
+        );
+    }
+}
+
+#[test]
+fn fig4_printf_is_worst_and_read_write_best() {
+    let rows = fig4(50);
+    let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().slowdown();
+    // Cheap syscalls amortize the switch worst (paper: printf at 7.1x,
+    // read/write at the 3.3-3.5x low end).
+    assert!(get("printf") > get("read"));
+    assert!(get("printf") > get("write"));
+    assert!(get("socket") > get("read"));
+}
+
+#[test]
+fn fig5_overheads_match_paper_shape() {
+    let rows = fig5(1);
+    let get = |n: &str| rows.iter().find(|r| r.program == n).unwrap();
+    for r in &rows {
+        assert!(r.checksum_match, "{}: shielded output must match native", r.program);
+        let got = r.overhead();
+        assert!(
+            (got - r.paper_overhead).abs() < 0.12,
+            "{}: overhead {got:.3} vs paper {:.3}",
+            r.program,
+            r.paper_overhead
+        );
+    }
+    // Orderings the paper highlights: SQLite worst, GZip best.
+    assert!(get("SQLite").overhead() > get("UnQlite").overhead());
+    assert!(get("GZip").overhead() < 0.10);
+    // Lighttpd is the case where syscall-redirect (copies) matters most.
+    let redirect_share =
+        |r: &EnclaveAppRow| r.redirect_points() / (r.redirect_points() + r.exit_points());
+    assert!(
+        redirect_share(get("Lighttpd")) > redirect_share(get("SQLite")),
+        "paper: lighttpd's large copies shift cost to syscall-redirect"
+    );
+}
+
+#[test]
+fn fig6_veil_log_costs_more_than_kaudit_but_bounded() {
+    for r in fig6(1) {
+        assert!(
+            r.veil_overhead() >= r.kaudit_overhead(),
+            "{}: VeilS-LOG must cost at least kaudit",
+            r.program
+        );
+        assert!(r.veil_overhead() < 0.45, "{}: VeilS-LOG overhead bounded", r.program);
+        if r.records > 50 {
+            assert!(r.log_rate_per_s > 500.0, "{}: plausible log rate", r.program);
+        }
+    }
+    // Memcached (highest log rate) pays the most, as in the paper.
+    let rows = fig6(1);
+    let memcached = rows.iter().find(|r| r.program == "Memcached").unwrap();
+    for r in &rows {
+        assert!(memcached.veil_overhead() >= r.veil_overhead() - 1e-9);
+    }
+}
+
+#[test]
+fn cs1_module_costs_match_paper() {
+    let r = cs1(25);
+    assert!(
+        (35_000..90_000).contains(&r.load_delta()),
+        "paper: ~55k extra cycles on load, got {}",
+        r.load_delta()
+    );
+    assert!(
+        (0.02..0.09).contains(&r.load_increase()),
+        "paper: +5.7% load, got {:.3}",
+        r.load_increase()
+    );
+    assert!(
+        (0.02..0.09).contains(&r.unload_increase()),
+        "paper: +4.2% unload, got {:.3}",
+        r.unload_increase()
+    );
+}
+
+#[test]
+fn ablation_exitless_monotone() {
+    let rows = ablation_exitless(150);
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].overhead <= pair[0].overhead,
+            "batching must monotonically reduce overhead"
+        );
+    }
+    assert!(rows.last().unwrap().overhead < rows[0].overhead / 4.0, "large batches pay off");
+}

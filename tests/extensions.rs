@@ -1,0 +1,270 @@
+//! Tests for the implemented §7/§10 future-work extensions:
+//! multi-threaded enclaves, syscall batching, and Chancel-style
+//! mutually-trusted enclave memory sharing.
+
+use veil::prelude::*;
+use veil_sdk::install::add_enclave_thread;
+use veil_sdk::{install_enclave, BatchedSys, EnclaveBinary, EnclaveRuntime, EnclaveSys};
+use veil_snp::cost::CostCategory;
+use veil_snp::mem::PAGE_SIZE;
+use veil_snp::perms::{Cpl, Vmpl};
+
+fn cvm(vcpus: u32) -> Cvm {
+    CvmBuilder::new().frames(4096).vcpus(vcpus).build().expect("boot")
+}
+
+// ---- multi-threaded enclaves (§7) -----------------------------------
+
+#[test]
+fn second_thread_runs_on_another_vcpu() {
+    let mut cvm = cvm(2);
+    let pid = cvm.spawn();
+    let handle =
+        install_enclave(&mut cvm, pid, &EnclaveBinary::build("mt", 4096, 2048)).unwrap();
+    let thread = add_enclave_thread(&mut cvm, &handle, 1).expect("add thread");
+    assert_eq!(thread.vcpu, 1);
+    assert_ne!(thread.ghcb_gfn, handle.ghcb_gfn, "per-thread GHCBs");
+    {
+        let e = cvm.gate.services.enc.enclave(handle.id).unwrap();
+        assert_eq!(e.thread_count(), 2);
+        let (vmsa1, _) = e.thread(1).unwrap();
+        // Synchronized VMSAs: same protected tables, same entry.
+        let (vmsa0, _) = e.thread(0).unwrap();
+        let m = &cvm.hv.machine;
+        assert_eq!(m.vmsa(vmsa0).unwrap().regs.cr3, m.vmsa(vmsa1).unwrap().regs.cr3);
+        assert_eq!(m.vmsa(vmsa1).unwrap().vmpl(), Vmpl::Vmpl2);
+        // The hypervisor sees a Dom_ENC instance on VCPU 1.
+        assert_eq!(cvm.hv.vcpu(1).unwrap().domain_vmsas.get(&Vmpl::Vmpl2), Some(&vmsa1));
+    }
+
+    // Thread 0 writes enclave memory; thread 1 (on VCPU 1) reads it.
+    let heap = handle.heap_base;
+    {
+        let mut rt0 = EnclaveRuntime::new(handle.clone());
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt0).unwrap();
+        sys.mem_write(heap, b"cross-thread secret").unwrap();
+        sys.deactivate().unwrap();
+    }
+    {
+        let mut rt1 = EnclaveRuntime::for_thread(handle.clone(), thread);
+        assert_eq!(rt1.vcpu, 1);
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt1).unwrap();
+        let mut buf = [0u8; 19];
+        sys.mem_read(heap, &mut buf).unwrap();
+        assert_eq!(&buf, b"cross-thread secret");
+        // Thread 1's syscalls work through its own GHCB.
+        let fd = sys.open("/tmp/from-thread1", OpenFlags::rdwr_create()).unwrap();
+        sys.write(fd, b"hello from vcpu1").unwrap();
+        sys.close(fd).unwrap();
+        sys.deactivate().unwrap();
+        assert!(rt1.stats.syscalls >= 3);
+    }
+}
+
+#[test]
+fn duplicate_thread_refused() {
+    let mut cvm = cvm(2);
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("dup", 2048, 0)).unwrap();
+    add_enclave_thread(&mut cvm, &handle, 1).unwrap();
+    assert!(add_enclave_thread(&mut cvm, &handle, 1).is_err(), "vcpu 1 already has a thread");
+    // VCPU 0 already hosts the primary thread.
+    assert!(add_enclave_thread(&mut cvm, &handle, 0).is_err());
+}
+
+#[test]
+fn destroy_tears_down_all_threads() {
+    let mut cvm = cvm(2);
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("td", 2048, 0)).unwrap();
+    add_enclave_thread(&mut cvm, &handle, 1).unwrap();
+    let vmsas: Vec<u64> = {
+        let e = cvm.gate.services.enc.enclave(handle.id).unwrap();
+        [0u32, 1].iter().map(|v| e.thread(*v).unwrap().0).collect()
+    };
+    veil_sdk::remove_enclave(&mut cvm, &handle).unwrap();
+    for vmsa in vmsas {
+        assert!(cvm.hv.machine.vmsa(vmsa).is_none(), "thread VMSA must be destroyed");
+    }
+}
+
+// ---- syscall batching (§10) ------------------------------------------
+
+#[test]
+fn batching_reduces_crossings_with_identical_output() {
+    let write_loop = |batch: Option<usize>| -> (u64, u64, Vec<u8>) {
+        let mut cvm = cvm(1);
+        let pid = cvm.spawn();
+        let handle =
+            install_enclave(&mut cvm, pid, &EnclaveBinary::build("batch", 2048, 0)).unwrap();
+        let mut rt = EnclaveRuntime::new(handle);
+        let snap = cvm.hv.machine.cycles().snapshot();
+        {
+            let mut inner = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+            let run = |sys: &mut dyn Sys| {
+                let fd = sys.open("/tmp/batched.log", OpenFlags::rdwr_create()).unwrap();
+                for i in 0..32u32 {
+                    sys.write(fd, format!("line {i}\n").as_bytes()).unwrap();
+                }
+                sys.close(fd).unwrap();
+            };
+            match batch {
+                Some(k) => {
+                    let mut sys = BatchedSys::new(&mut inner, k);
+                    run(&mut sys);
+                    sys.finish().unwrap();
+                }
+                None => run(&mut inner),
+            }
+            inner.deactivate().unwrap();
+        }
+        let cycles = cvm.hv.machine.cycles().since(&snap).of(CostCategory::EnclaveExit);
+        let contents = {
+            let pid2 = cvm.spawn();
+            let mut sys = cvm.sys(pid2);
+            let fd = sys.open("/tmp/batched.log", OpenFlags::rdonly()).unwrap();
+            let mut buf = vec![0u8; 4096];
+            let n = sys.read(fd, &mut buf).unwrap();
+            buf.truncate(n);
+            buf
+        };
+        (cycles, rt.stats.crossings, contents)
+    };
+    let (exit_unbatched, crossings_unbatched, out_unbatched) = write_loop(None);
+    let (exit_batched, crossings_batched, out_batched) = write_loop(Some(8));
+    assert_eq!(out_unbatched, out_batched, "batching must not change file contents");
+    assert!(
+        crossings_batched * 3 < crossings_unbatched,
+        "batch 8 should slash crossings: {crossings_batched} vs {crossings_unbatched}"
+    );
+    assert!(exit_batched * 2 < exit_unbatched, "exit cycles shrink accordingly");
+}
+
+#[test]
+fn batching_preserves_program_order_across_flush_points() {
+    let mut cvm = cvm(1);
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("order", 2048, 0)).unwrap();
+    let mut rt = EnclaveRuntime::new(handle);
+    let mut inner = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+    let mut sys = BatchedSys::new(&mut inner, 16);
+    let fd = sys.open("/tmp/ordered", OpenFlags::rdwr_create()).unwrap();
+    sys.write(fd, b"one ").unwrap();
+    sys.write(fd, b"two ").unwrap();
+    // A read is a flush barrier: it must observe both queued writes.
+    let mut buf = [0u8; 8];
+    let n = sys.pread(fd, &mut buf, 0).unwrap();
+    assert_eq!(&buf[..n], b"one two ");
+    sys.write(fd, b"three").unwrap();
+    sys.finish().unwrap();
+    inner.deactivate().unwrap();
+    let mut os_sys = cvm.sys(pid);
+    assert_eq!(os_sys.stat("/tmp/ordered").unwrap().size, 13);
+}
+
+#[test]
+fn batched_errors_surface_on_flush() {
+    let mut cvm = cvm(1);
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("err", 2048, 0)).unwrap();
+    let mut rt = EnclaveRuntime::new(handle);
+    let mut inner = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+    let mut sys = BatchedSys::new(&mut inner, 4);
+    // Queue writes to a bogus fd: optimistic success now...
+    assert!(sys.write(9999, b"lost").is_ok());
+    sys.flush().unwrap();
+    // ...deferred EIO on the next queued call.
+    assert_eq!(sys.write(9999, b"x"), Err(veil_os::error::Errno::EIO));
+    assert_eq!(sys.stats.deferred_errors, 1);
+}
+
+// ---- Chancel-style enclave sharing (§10) ------------------------------
+
+#[test]
+fn mutual_sharing_maps_owner_pages_into_peer() {
+    let mut cvm = cvm(1);
+    let pid_a = cvm.spawn();
+    let pid_b = cvm.spawn();
+    let ha = install_enclave(
+        &mut cvm,
+        pid_a,
+        &EnclaveBinary::build("owner", 2048, 2048).with_heap_pages(4),
+    )
+    .unwrap();
+    let hb = install_enclave(&mut cvm, pid_b, &EnclaveBinary::build("peer", 2048, 0)).unwrap();
+
+    // Owner writes into the page it will share.
+    let shared_vaddr = ha.heap_base;
+    {
+        let mut rt = EnclaveRuntime::new(ha.clone());
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        sys.mem_write(shared_vaddr, b"multi-client state").unwrap();
+        sys.deactivate().unwrap();
+    }
+
+    // One-sided access is refused until both enclaves agree.
+    let enc = &mut cvm.gate.services.enc;
+    const SHARE_WINDOW: u64 = 0x5800_0000;
+    assert!(
+        enc.accept_share(&mut cvm.gate.monitor, &mut cvm.hv, hb.id, ha.id, SHARE_WINDOW).is_err(),
+        "no offer yet"
+    );
+    enc.offer_share(ha.id, hb.id, shared_vaddr, 1).unwrap();
+    let base = enc
+        .accept_share(&mut cvm.gate.monitor, &mut cvm.hv, hb.id, ha.id, SHARE_WINDOW)
+        .unwrap();
+    assert_eq!(base, SHARE_WINDOW);
+
+    // The peer now reads the owner's page through its own protected
+    // tables, at Dom_ENC.
+    let peer_aspace = cvm.gate.services.enc.enclave(hb.id).unwrap().aspace;
+    let got = peer_aspace
+        .read_virt(&cvm.hv.machine, SHARE_WINDOW, 18, Vmpl::Vmpl2, Cpl::Cpl3)
+        .expect("peer reads shared page");
+    assert_eq!(&got, b"multi-client state");
+
+    // The OS still cannot (frames remain revoked from Dom_UNT).
+    let os_read = cvm.hv.machine.read(
+        Vmpl::Vmpl3,
+        veil_snp::mem::gpa_of(ha.frames[(shared_vaddr - ha.base) as usize / PAGE_SIZE]),
+        18,
+    );
+    assert!(os_read.is_err());
+}
+
+#[test]
+fn share_offer_requires_resident_enclave_pages() {
+    let mut cvm = cvm(1);
+    let pid_a = cvm.spawn();
+    let pid_b = cvm.spawn();
+    let ha = install_enclave(&mut cvm, pid_a, &EnclaveBinary::build("o2", 2048, 0)).unwrap();
+    let hb = install_enclave(&mut cvm, pid_b, &EnclaveBinary::build("p2", 2048, 0)).unwrap();
+    let enc = &mut cvm.gate.services.enc;
+    // Outside the enclave range: refused.
+    assert!(enc.offer_share(ha.id, hb.id, ha.shared_base, 1).is_err());
+    // Beyond the resident range: refused.
+    assert!(enc
+        .offer_share(ha.id, hb.id, ha.base + ha.len as u64 - PAGE_SIZE as u64, 2)
+        .is_err());
+}
+
+#[test]
+fn acceptance_consumes_the_offer() {
+    let mut cvm = cvm(1);
+    let pid_a = cvm.spawn();
+    let pid_b = cvm.spawn();
+    let ha = install_enclave(
+        &mut cvm,
+        pid_a,
+        &EnclaveBinary::build("o3", 2048, 0).with_heap_pages(2),
+    )
+    .unwrap();
+    let hb = install_enclave(&mut cvm, pid_b, &EnclaveBinary::build("p3", 2048, 0)).unwrap();
+    let enc = &mut cvm.gate.services.enc;
+    enc.offer_share(ha.id, hb.id, ha.heap_base, 1).unwrap();
+    enc.accept_share(&mut cvm.gate.monitor, &mut cvm.hv, hb.id, ha.id, 0x5900_0000).unwrap();
+    // Second acceptance fails: offers are one-shot.
+    assert!(enc
+        .accept_share(&mut cvm.gate.monitor, &mut cvm.hv, hb.id, ha.id, 0x5a00_0000)
+        .is_err());
+}

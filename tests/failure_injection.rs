@@ -1,0 +1,171 @@
+//! Failure injection: interrupts mid-execution, resource exhaustion,
+//! paging misuse, and hostile inputs to trusted parsers.
+
+use proptest::prelude::*;
+use veil::prelude::*;
+use veil_os::audit::AuditMode;
+use veil_os::module::ModuleImage;
+use veil_os::monitor::{MonRequest, MonitorChannel};
+use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
+use veil_snp::perms::Vmpl;
+
+fn cvm() -> Cvm {
+    CvmBuilder::new().frames(4096).vcpus(1).build().expect("boot")
+}
+
+/// Interrupts land mid-enclave-execution; the honest hypervisor relays
+/// them to Dom_UNT and the OS resumes the enclave — repeatedly, inside a
+/// real syscall-heavy run.
+#[test]
+fn interrupt_storm_during_enclave_run() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let handle =
+        install_enclave(&mut cvm, pid, &EnclaveBinary::build("storm", 4096, 1024)).unwrap();
+    let id = handle.id;
+    let mut rt = EnclaveRuntime::new(handle);
+    for round in 0..25 {
+        {
+            let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+            let fd = sys.open("/tmp/storm", OpenFlags::rdwr_create()).unwrap();
+            sys.write(fd, format!("round {round}\n").as_bytes()).unwrap();
+            sys.close(fd).unwrap();
+        }
+        // Timer interrupt while Dom_ENC runs: relayed to the OS...
+        assert_eq!(cvm.hv.automatic_exit(0), Some(Vmpl::Vmpl3), "round {round}");
+        // ...which handles it and reschedules the enclave thread.
+        cvm.gate.services.enc.enter_on(&mut cvm.hv, id, 0).expect("resume");
+    }
+    assert!(cvm.hv.machine.halted().is_none());
+    assert!(cvm.hv.stats().automatic_exits >= 25);
+}
+
+/// The kernel frame pool running dry degrades gracefully: mmap returns
+/// ENOMEM, nothing corrupts, and freeing restores service.
+#[test]
+fn frame_exhaustion_is_enomem_not_corruption() {
+    let mut cvm = CvmBuilder::new().frames(1024).vcpus(1).build().unwrap();
+    let pid = cvm.spawn();
+    let mut regions = Vec::new();
+    loop {
+        let mut sys = cvm.sys(pid);
+        match sys.mmap(64 * 4096) {
+            Ok(addr) => regions.push(addr),
+            Err(e) => {
+                assert_eq!(e, veil_os::error::Errno::ENOMEM);
+                break;
+            }
+        }
+        assert!(regions.len() < 100, "pool must eventually exhaust");
+    }
+    // Previously mapped regions still work.
+    let first = regions[0];
+    let mut sys = cvm.sys(pid);
+    sys.mem_write(first, b"still alive").unwrap();
+    // Freeing one region restores allocation.
+    sys.munmap(first, 64 * 4096).unwrap();
+    assert!(sys.mmap(4096).is_ok());
+}
+
+/// VeilS-LOG storage overflow: records are refused (never overwritten),
+/// the kernel counts the failures, and earlier evidence is preserved.
+#[test]
+fn log_overflow_preserves_earlier_records() {
+    let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).log_frames(1).build().unwrap();
+    cvm.kernel.audit.mode = AuditMode::VeilLog;
+    cvm.kernel.audit.rules = veil_os::audit::paper_ruleset();
+    let pid = cvm.spawn();
+    {
+        let mut sys = cvm.sys(pid);
+        for i in 0..60 {
+            let fd = sys.open(&format!("/tmp/spam{i}"), OpenFlags::rdwr_create()).unwrap();
+            sys.close(fd).unwrap();
+        }
+    }
+    assert!(cvm.kernel.audit_failures > 0, "overflow must be visible");
+    assert!(cvm.gate.services.log.dropped > 0);
+    let kept = cvm.gate.services.log.read_all(&cvm.hv).unwrap();
+    assert!(!kept.is_empty());
+    // The first record is still the first open — append-only held.
+    let first = veil_os::audit::AuditRecord::from_bytes(&kept[0]).unwrap();
+    assert_eq!(first.seq, 0);
+}
+
+/// Double page-out / page-in misuse is refused cleanly.
+#[test]
+fn paging_misuse_refused() {
+    use veil_sdk::install::{swap_in_page, swap_out_page};
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let binary = EnclaveBinary::build("pager2", 2048, 0).with_heap_pages(4);
+    let mut handle = install_enclave(&mut cvm, pid, &binary).unwrap();
+    let vaddr = handle.heap_base;
+    swap_out_page(&mut cvm, &handle, vaddr).unwrap();
+    // Page-out of a non-resident page: refused.
+    assert!(swap_out_page(&mut cvm, &handle, vaddr).is_err());
+    // Page-in at a never-sealed address: refused.
+    let (staging, dest) = {
+        let (kernel, _) = cvm.kctx();
+        (kernel.frames.alloc().unwrap(), kernel.frames.alloc().unwrap())
+    };
+    let (_, mut ctx) = cvm.kctx();
+    let r = ctx.gate.request(
+        ctx.hv,
+        0,
+        MonRequest::EncPageIn {
+            enclave_id: handle.id,
+            vaddr: vaddr + 4096,
+            staging_gfn: staging,
+            dest_gfn: dest,
+        },
+    );
+    assert!(r.is_err());
+    // The legitimate page-in still works afterwards.
+    swap_in_page(&mut cvm, &mut handle, vaddr).unwrap();
+}
+
+/// Page-out requests for foreign addresses (outside the enclave) are
+/// refused — the OS cannot use paging to strip arbitrary protections.
+#[test]
+fn page_out_outside_enclave_refused() {
+    let mut cvm = cvm();
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("px", 2048, 0)).unwrap();
+    let (_, mut ctx) = cvm.kctx();
+    let r = ctx.gate.request(
+        ctx.hv,
+        0,
+        MonRequest::EncPageOut { enclave_id: handle.id, vaddr: handle.shared_base },
+    );
+    assert!(r.is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The module parser — trusted code fed attacker bytes — never
+    /// panics and never accepts corrupted images.
+    #[test]
+    fn module_parser_survives_garbage(mut bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Random bytes: parse may fail, must not panic.
+        let _ = ModuleImage::deserialize(&bytes);
+        // Bit-flipped real images: parse may succeed, but then the
+        // signature check must fail.
+        let image = ModuleImage::build_signed("prop", 512, &[9; 32]);
+        let mut real = image.serialize();
+        if !bytes.is_empty() {
+            let idx = bytes[0] as usize % real.len();
+            real[idx] ^= bytes[0] | 1;
+            if let Ok(parsed) = ModuleImage::deserialize(&real) {
+                prop_assert!(!parsed.verify(&[9; 32]), "tampered image must not verify");
+            }
+        }
+        bytes.clear();
+    }
+
+    /// Audit-record parsing never panics on arbitrary bytes.
+    #[test]
+    fn audit_parser_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = veil_os::audit::AuditRecord::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,60 @@
+//! §7 LTP-style conformance runs (native vs enclave SDK).
+
+use veil::prelude::*;
+use veil_sdk::ltp::{cases, run_suite};
+use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
+
+#[test]
+fn native_kernel_passes_everything() {
+    let mut cvm = CvmBuilder::new().frames(4096).build_native().unwrap();
+    let pid = cvm.spawn();
+    let mut sys = cvm.sys(pid);
+    let report = run_suite(&mut sys);
+    assert_eq!(
+        report.fail_count(),
+        0,
+        "native failures: {:?}",
+        report.failed
+    );
+}
+
+#[test]
+fn veil_kernel_passes_everything() {
+    // The deprivileged (Dom_UNT) kernel is behaviourally identical.
+    let mut cvm = CvmBuilder::new().frames(4096).build().unwrap();
+    let pid = cvm.spawn();
+    let mut sys = cvm.sys(pid);
+    let report = run_suite(&mut sys);
+    assert_eq!(report.fail_count(), 0, "veil failures: {:?}", report.failed);
+}
+
+#[test]
+fn enclave_sdk_passes_supported_subset() {
+    let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
+    let pid = cvm.spawn();
+    let handle =
+        install_enclave(&mut cvm, pid, &EnclaveBinary::build("ltp", 4096, 1024)).unwrap();
+    let mut rt = EnclaveRuntime::new(handle);
+    let report = {
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        run_suite(&mut sys)
+    };
+    // Every supported-syscall case passes; the post-kill probes fail —
+    // the paper's partial-pass shape ("our SDK is designed to kill the
+    // enclave and exit on their execution; hence, our SDK failed all
+    // tests for these system calls").
+    let expected_failures =
+        cases().iter().filter(|c| c.name.starts_with("after_kill")).count();
+    assert_eq!(report.fail_count(), expected_failures, "failures: {:?}", report.failed);
+    for (name, _) in &report.failed {
+        assert!(name.starts_with("after_kill"), "unexpected enclave failure {name}");
+    }
+    assert!(rt.stats.killed, "the unsupported syscall killed the enclave");
+    assert!(report.pass_count() > 40);
+}
+
+#[test]
+fn corpus_covers_most_of_the_surface() {
+    let covered: std::collections::BTreeSet<_> = cases().iter().map(|c| c.sysno).collect();
+    assert!(covered.len() >= 25, "corpus covers {} distinct syscalls", covered.len());
+}

@@ -1,0 +1,207 @@
+//! Property-based tests over the core security invariants.
+//!
+//! These drive randomized operation sequences against the SNP model and
+//! assert the invariants Veil's whole security argument rests on.
+
+use proptest::prelude::*;
+use veil_snp::machine::{Machine, MachineConfig};
+use veil_snp::perms::{Access, Cpl, Vmpl, VmplPerms};
+use veil_snp::pt::{AddressSpace, PteFlags};
+use veil_snp::rmp::PageState;
+
+const FRAMES: u64 = 64;
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig { frames: FRAMES as usize, ..Default::default() })
+}
+
+/// One randomized RMP operation.
+#[derive(Debug, Clone)]
+enum RmpOp {
+    Assign(u64),
+    Reclaim(u64),
+    Pvalidate { vmpl: usize, gfn: u64, validate: bool },
+    Rmpadjust { executing: usize, gfn: u64, target: usize, perms: u8 },
+    GuestWrite { vmpl: usize, gfn: u64 },
+    HvWrite(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = RmpOp> {
+    prop_oneof![
+        (0..FRAMES).prop_map(RmpOp::Assign),
+        (0..FRAMES).prop_map(RmpOp::Reclaim),
+        (0..4usize, 0..FRAMES, any::<bool>())
+            .prop_map(|(vmpl, gfn, validate)| RmpOp::Pvalidate { vmpl, gfn, validate }),
+        (0..4usize, 0..FRAMES, 0..4usize, 0u8..16)
+            .prop_map(|(executing, gfn, target, perms)| RmpOp::Rmpadjust {
+                executing,
+                gfn,
+                target,
+                perms
+            }),
+        (0..4usize, 0..FRAMES).prop_map(|(vmpl, gfn)| RmpOp::GuestWrite { vmpl, gfn }),
+        (0..FRAMES).prop_map(RmpOp::HvWrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No sequence of RMP operations — privileged or not — can ever give
+    /// a lower VMPL more access to a page than VMPL-0 granted it, let the
+    /// hypervisor read private memory, or corrupt validation state.
+    #[test]
+    fn rmp_invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut m = machine();
+        for op in ops {
+            match op {
+                RmpOp::Assign(gfn) => { let _ = m.rmp_assign(gfn); }
+                RmpOp::Reclaim(gfn) => { let _ = m.rmp_reclaim(gfn); }
+                RmpOp::Pvalidate { vmpl, gfn, validate } => {
+                    let v = Vmpl::from_index(vmpl).unwrap();
+                    let r = m.pvalidate(v, gfn, validate);
+                    // PVALIDATE must refuse every level but VMPL-0.
+                    if v != Vmpl::Vmpl0 {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                RmpOp::Rmpadjust { executing, gfn, target, perms } => {
+                    let e = Vmpl::from_index(executing).unwrap();
+                    let t = Vmpl::from_index(target).unwrap();
+                    let p = VmplPerms::from_bits_truncate(perms);
+                    let before = m.rmp().entry(gfn).map(|en| en.perms(e));
+                    let r = m.rmpadjust(e, gfn, t, p);
+                    if r.is_ok() {
+                        // Grant rule: the executor held every bit granted.
+                        prop_assert!(before.unwrap().contains(p));
+                        prop_assert!(e.dominates(t));
+                    }
+                    // An executor can never change its own level.
+                    if e == t {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                RmpOp::GuestWrite { vmpl, gfn } => {
+                    let v = Vmpl::from_index(vmpl).unwrap();
+                    let r = m.write(v, gfn * 4096, b"data");
+                    // Writes succeed only where the RMP says so.
+                    let allowed = m.rmp().check(gfn, v, Access::Write).is_ok();
+                    prop_assert_eq!(r.is_ok(), allowed);
+                }
+                RmpOp::HvWrite(gfn) => {
+                    let r = m.hv_write(gfn * 4096, b"host");
+                    // The host only ever touches shared pages.
+                    prop_assert_eq!(
+                        r.is_ok(),
+                        m.rmp().hypervisor_accessible(gfn),
+                    );
+                }
+            }
+            // Global invariants after every step:
+            for gfn in 0..FRAMES {
+                let e = m.rmp().entry(gfn).unwrap();
+                // A page the hypervisor can access is never validated
+                // guest memory.
+                if m.rmp().hypervisor_accessible(gfn) {
+                    prop_assert_eq!(e.state(), PageState::Shared);
+                }
+                // VMPL-0 retains full permissions on private pages.
+                if e.state() == PageState::Validated {
+                    prop_assert!(e.perms(Vmpl::Vmpl0).contains(VmplPerms::all()));
+                }
+            }
+        }
+    }
+
+    /// Page-table mapping/translation agrees with a shadow oracle under
+    /// random map/unmap/protect sequences, and protected (VMPL-restricted)
+    /// final pages always fault for the restricted level.
+    #[test]
+    fn page_tables_match_oracle(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u64..32, 0u64..16, any::<bool>()),
+            1..100
+        )
+    ) {
+        let mut m = Machine::new(MachineConfig { frames: 256, ..Default::default() });
+        let mut free: Vec<u64> = Vec::new();
+        for gfn in 1..256u64 {
+            m.rmp_assign(gfn).unwrap();
+            m.pvalidate(Vmpl::Vmpl0, gfn, true).unwrap();
+            for v in [Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3] {
+                m.rmpadjust(Vmpl::Vmpl0, gfn, v, VmplPerms::all()).unwrap();
+            }
+            free.push(gfn);
+        }
+        free.reverse();
+        let aspace = AddressSpace::new(&mut m, Vmpl::Vmpl3, &mut free).unwrap();
+        let mut oracle: std::collections::BTreeMap<u64, (u64, bool)> = Default::default();
+        let mut data_frames: Vec<u64> = (0..16).map(|_| free.pop().unwrap()).collect();
+
+        for (op, slot, frame_idx, writable) in ops {
+            let vaddr = 0x4000_0000 + slot * 4096;
+            match op {
+                0 => {
+                    let pfn = data_frames[frame_idx as usize % data_frames.len()];
+                    let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
+                    let r = aspace.map(&mut m, Vmpl::Vmpl3, &mut free, vaddr, pfn, flags);
+                    if oracle.contains_key(&vaddr) {
+                        prop_assert!(r.is_err(), "double map must fail");
+                    } else if r.is_ok() {
+                        oracle.insert(vaddr, (pfn, writable));
+                    }
+                }
+                1 => {
+                    let r = aspace.unmap(&mut m, Vmpl::Vmpl3, vaddr);
+                    match oracle.remove(&vaddr) {
+                        Some((pfn, _)) => prop_assert_eq!(r.unwrap(), pfn),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                _ => {
+                    let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
+                    let r = aspace.protect(&mut m, Vmpl::Vmpl3, vaddr, flags);
+                    if let Some(entry) = oracle.get_mut(&vaddr) {
+                        prop_assert!(r.is_ok());
+                        entry.1 = writable;
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+            }
+            // Oracle agreement on every mapped slot.
+            for (va, (pfn, w)) in &oracle {
+                let (got_pfn, _) = aspace.translate(&m, *va).unwrap();
+                prop_assert_eq!(got_pfn, *pfn);
+                let write_ok =
+                    aspace.access(&m, *va, Vmpl::Vmpl3, Cpl::Cpl3, Access::Write).is_ok();
+                prop_assert_eq!(write_ok, *w);
+            }
+        }
+        let _ = &mut data_frames;
+    }
+
+    /// Sealed-channel round trips never lose or corrupt data, for any
+    /// payloads, and cross-channel messages never authenticate.
+    #[test]
+    fn secure_channel_roundtrip(msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..20)) {
+        use veil_core::remote::SecureChannel;
+        let mut a = SecureChannel::new([1; 32]);
+        let mut b = SecureChannel::new([1; 32]);
+        let mut eve = SecureChannel::new([2; 32]);
+        for msg in &msgs {
+            let sealed = a.seal(msg);
+            prop_assert!(eve.open(&sealed).is_err(), "wrong key must fail");
+            prop_assert_eq!(&b.open(&sealed).unwrap(), msg);
+        }
+    }
+
+    /// LZ77 compression round-trips arbitrary data (the Fig. 5 compute
+    /// kernel must be *correct*, not just costed).
+    #[test]
+    fn lz77_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        use veil_workloads::compress::{lz77_compress, lz77_decompress};
+        let c = lz77_compress(&data);
+        prop_assert_eq!(lz77_decompress(&c).unwrap(), data);
+    }
+}

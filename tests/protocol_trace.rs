@@ -1,0 +1,96 @@
+//! Protocol-sequence assertions over the hypervisor's switch trace:
+//! the Fig. 3 inter-domain communication flow and the §6.2 enclave
+//! entry/exit flow, observed step by step.
+
+use veil::prelude::*;
+use veil_hv::SwitchEvent;
+use veil_os::monitor::{MonRequest, MonitorChannel};
+use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
+use veil_snp::perms::Vmpl;
+
+#[test]
+fn fig3_sequence_for_a_delegated_request() {
+    let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
+    let gfn = cvm.gate.monitor.layout.shared.start + 6;
+    cvm.hv.machine.rmp_assign(gfn).unwrap();
+    cvm.hv.set_trace(true);
+    {
+        let (_, mut ctx) = cvm.kctx();
+        ctx.gate.request(ctx.hv, 0, MonRequest::Pvalidate { gfn, validate: true }).unwrap();
+    }
+    // Fig. 3: OS exits to the hypervisor, resumes at VeilMon, processes,
+    // and the reply path mirrors it.
+    assert_eq!(
+        cvm.hv.trace(),
+        &[
+            SwitchEvent { vcpu: 0, from: Vmpl::Vmpl3, to: Vmpl::Vmpl0, user_ghcb: false, automatic: false },
+            SwitchEvent { vcpu: 0, from: Vmpl::Vmpl0, to: Vmpl::Vmpl3, user_ghcb: false, automatic: false },
+        ]
+    );
+}
+
+#[test]
+fn service_requests_terminate_in_dom_ser() {
+    let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
+    cvm.kernel.audit.mode = veil_os::audit::AuditMode::VeilLog;
+    cvm.kernel.audit.rules = veil_os::audit::paper_ruleset();
+    cvm.hv.set_trace(true);
+    let pid = cvm.spawn();
+    {
+        let mut sys = cvm.sys(pid);
+        let fd = sys.open("/tmp/traced", OpenFlags::rdwr_create()).unwrap();
+        sys.close(fd).unwrap();
+    }
+    // Each audited syscall produced one Dom_UNT -> Dom_SER round trip.
+    let trace = cvm.hv.trace();
+    assert_eq!(trace.len(), 4, "open + close = two round trips: {trace:?}");
+    for pair in trace.chunks(2) {
+        assert_eq!(pair[0].to, Vmpl::Vmpl1, "log append terminates in Dom_SER");
+        assert_eq!(pair[1].to, Vmpl::Vmpl3, "and returns to the kernel");
+        assert!(!pair[0].user_ghcb);
+    }
+}
+
+#[test]
+fn enclave_syscall_is_two_user_ghcb_crossings() {
+    let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
+    let pid = cvm.spawn();
+    let handle =
+        install_enclave(&mut cvm, pid, &EnclaveBinary::build("trace", 2048, 0)).unwrap();
+    let mut rt = EnclaveRuntime::new(handle);
+    {
+        // Enter before tracing so only the syscall's crossings appear.
+        let sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        drop(sys);
+    }
+    cvm.hv.set_trace(true);
+    {
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        sys.getpid().unwrap();
+    }
+    let trace = cvm.hv.trace();
+    assert_eq!(
+        trace,
+        &[
+            SwitchEvent { vcpu: 0, from: Vmpl::Vmpl2, to: Vmpl::Vmpl3, user_ghcb: true, automatic: false },
+            SwitchEvent { vcpu: 0, from: Vmpl::Vmpl3, to: Vmpl::Vmpl2, user_ghcb: true, automatic: false },
+        ],
+        "a redirected syscall is exactly one exit + one re-entry through the user GHCB"
+    );
+}
+
+#[test]
+fn interrupt_relay_appears_as_automatic_event() {
+    let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("irq", 2048, 0)).unwrap();
+    let mut rt = EnclaveRuntime::new(handle);
+    let sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+    drop(sys);
+    cvm.hv.set_trace(true);
+    cvm.hv.automatic_exit(0);
+    assert_eq!(
+        cvm.hv.trace(),
+        &[SwitchEvent { vcpu: 0, from: Vmpl::Vmpl2, to: Vmpl::Vmpl3, user_ghcb: false, automatic: true }]
+    );
+}

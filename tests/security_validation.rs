@@ -1,0 +1,160 @@
+//! §8.3 experimental security validation — the paper's two executed
+//! attacks, reproduced end to end.
+//!
+//! "The first attack tried to overwrite VeilMon page table entries...
+//! When we tried to modify the page tables from the operating system, the
+//! CVM halted with continuous nested page faults (#NPFs)."
+//!
+//! "The second attack tried to overwrite a kernel module's text region
+//! after VeilS-KCI was activated... On overwrite attempt, the CVM halted
+//! with continuous #NPFs again."
+
+use veil::prelude::*;
+use veil_core::cvm::VENDOR_KEY;
+use veil_os::module::ModuleImage;
+use veil_sdk::{install_enclave, EnclaveBinary};
+use veil_snp::fault::{HaltReason, SnpError};
+use veil_snp::machine::Machine;
+use veil_snp::mem::gpa_of;
+use veil_snp::perms::{Cpl, Vmpl};
+use veil_snp::pt::PteFlags;
+
+fn cvm() -> Cvm {
+    CvmBuilder::new().frames(4096).vcpus(1).build().expect("boot")
+}
+
+/// Drives the raw fault into the paper's observed outcome: the kernel
+/// cannot make progress past the #NPF, so the CVM halts.
+fn retry_until_halt(cvm: &mut Cvm, mut attack: impl FnMut(&mut Cvm) -> Result<(), SnpError>) {
+    for _ in 0..3 {
+        match attack(cvm) {
+            Err(SnpError::Npf(npf)) => {
+                // The fault re-occurs on every retry: continuous #NPFs.
+                cvm.hv.machine.halt(HaltReason::NestedPageFault(npf));
+            }
+            Err(_) => {}
+            Ok(()) => panic!("attack must not succeed"),
+        }
+    }
+}
+
+/// §8.3 attack 1: overwrite protected page-table entries from the OS.
+#[test]
+fn attack1_page_table_overwrite_halts_with_npf() {
+    let mut cvm = cvm();
+    // Set up an enclave whose page tables VeilS-ENC cloned into
+    // protected memory — exactly the monitor-held tables the paper's
+    // attack targeted (mapped into the OS address space).
+    let pid = cvm.spawn();
+    let handle =
+        install_enclave(&mut cvm, pid, &EnclaveBinary::build("pt-victim", 2048, 0)).unwrap();
+    let clone = cvm.gate.services.enc.enclave(handle.id).unwrap().aspace;
+    let pt_frames = clone.table_frames(&cvm.hv.machine);
+    assert!(!pt_frames.is_empty());
+
+    // "We mapped the page tables to the operating system's address
+    // space" — the OS can map anything into its own tables; the VMPL
+    // check fires at access time, not map time.
+    let pt_va = 0x6660_0000u64;
+    {
+        let (kernel, mut ctx) = cvm.kctx();
+        kernel.map_user_page(&mut ctx, pid, pt_va, pt_frames[0], PteFlags::user_data()).unwrap();
+    }
+
+    // The write attempt faults, every time, and the CVM halts.
+    retry_until_halt(&mut cvm, |cvm| {
+        let os_aspace = cvm.kernel.process(1).unwrap().aspace.unwrap();
+        match os_aspace.write_virt(&mut cvm.hv.machine, pt_va, &[0xff; 8], Vmpl::Vmpl3, Cpl::Cpl0) {
+            Err(veil_snp::pt::PtError::Snp(e)) => Err(e),
+            Err(_) => Err(SnpError::OutOfRange { gfn: 0 }),
+            Ok(()) => Ok(()),
+        }
+    });
+    assert!(
+        matches!(cvm.hv.machine.halted(), Some(HaltReason::NestedPageFault(_))),
+        "CVM must halt with continuous #NPFs"
+    );
+    // Integrity preserved: the cloned tables still translate correctly.
+    assert!(clone.translate(&cvm.hv.machine, handle.base).is_ok());
+}
+
+/// §8.3 attack 2: overwrite a KCI-protected module's text after
+/// disabling the OS's own page-table W⊕X (setting the write bit).
+#[test]
+fn attack2_module_text_overwrite_halts_with_npf() {
+    let mut cvm = cvm();
+    let image = ModuleImage::build_signed("victim_module", 8192, &VENDOR_KEY);
+    {
+        let (kernel, mut ctx) = cvm.kctx();
+        kernel.load_module(&mut ctx, &image).unwrap();
+    }
+    let text_gfns = cvm.kernel.modules["victim_module"].text_gfns.clone();
+    let original = cvm.hv.machine.read(Vmpl::Vmpl1, gpa_of(text_gfns[0]), 64).unwrap();
+
+    // "We set the write bit in the operating system's page tables to
+    // disable page table-based W^X" — map the module text writable into
+    // a process address space (the OS controls its own tables freely).
+    let pid = cvm.spawn();
+    {
+        let mut sys = cvm.sys(pid);
+        sys.mmap(4096).unwrap(); // create the address space
+    }
+    let text_va = 0x7770_0000u64;
+    {
+        let (kernel, mut ctx) = cvm.kctx();
+        kernel
+            .map_user_page(&mut ctx, pid, text_va, text_gfns[0], PteFlags::kernel_data())
+            .unwrap();
+    }
+
+    // Overwrite attempt: the PTE says writable, the RMP says no.
+    retry_until_halt(&mut cvm, |cvm| {
+        let os_aspace = cvm.kernel.process(pid).unwrap().aspace.unwrap();
+        match os_aspace.write_virt(
+            &mut cvm.hv.machine,
+            text_va,
+            b"\xcc\xcc shellcode",
+            Vmpl::Vmpl3,
+            Cpl::Cpl0,
+        ) {
+            Err(veil_snp::pt::PtError::Snp(e)) => Err(e),
+            Err(_) => Err(SnpError::OutOfRange { gfn: 0 }),
+            Ok(()) => Ok(()),
+        }
+    });
+    assert!(matches!(cvm.hv.machine.halted(), Some(HaltReason::NestedPageFault(_))));
+    // Module text is intact.
+    assert_eq!(cvm.hv.machine.read(Vmpl::Vmpl1, gpa_of(text_gfns[0]), 64).unwrap(), original);
+}
+
+/// Supplementary: direct writes to kernel text (code injection without a
+/// module) also bounce off the boot-time W⊕X pass.
+#[test]
+fn kernel_text_injection_blocked() {
+    let mut cvm = cvm();
+    let text = cvm.gate.monitor.layout.kernel_text.start;
+    let r = cvm.hv.machine.write(Vmpl::Vmpl3, gpa_of(text), b"\x90\x90\x90");
+    assert!(r.is_err(), "kernel text must be unwritable at Dom_UNT");
+    // Data pages cannot be executed in supervisor mode either.
+    let data = cvm.gate.monitor.layout.kernel_data.start;
+    let r = cvm.hv.machine.check_exec(Vmpl::Vmpl3, Cpl::Cpl0, gpa_of(data));
+    assert!(r.is_err(), "kernel data must not be supervisor-executable");
+}
+
+/// Supplementary: a halted CVM refuses further guest work (the paper's
+/// halt is terminal).
+#[test]
+fn halted_cvm_stays_halted() {
+    let mut cvm = cvm();
+    let mon = cvm.gate.monitor.layout.mon_pool.start;
+    let npf = match cvm.hv.machine.write(Vmpl::Vmpl3, gpa_of(mon), b"x") {
+        Err(SnpError::Npf(n)) => n,
+        other => panic!("expected #NPF, got {other:?}"),
+    };
+    cvm.hv.machine.halt(HaltReason::NestedPageFault(npf));
+    let (kernel, mut ctx) = cvm.kctx();
+    let r = kernel.accept_page(&mut ctx, 100);
+    assert!(r.is_err(), "no further guest progress after the halt");
+    let m: &Machine = &cvm.hv.machine;
+    assert!(m.halted().is_some());
+}
