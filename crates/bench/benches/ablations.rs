@@ -2,27 +2,25 @@
 //! replicated VCPUs vs static partitioning (§5.2) and exitless/batched
 //! syscall handling (§10 future work).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::perms::Vmpl;
+use veil_testkit::BenchGroup;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Replication's cost side: the on-demand switch a statically
     // partitioned design would avoid (at the price of dedicated VCPUs).
-    let mut group = c.benchmark_group("ablation_partition");
-    group.bench_function("on_demand_service_call", |b| {
-        let mut cvm = veil_services::CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
-        let ghcb_gfn = cvm.hv.machine.ghcb_msr(0).unwrap();
-        let ghcb = Ghcb::at(&cvm.hv.machine, ghcb_gfn).unwrap();
-        b.iter(|| {
-            ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl3, GhcbExit::DomainSwitch, 1, 0)
-                .unwrap();
-            cvm.hv.vmgexit(0, false).unwrap();
-            ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl1, GhcbExit::DomainSwitch, 3, 0)
-                .unwrap();
-            black_box(cvm.hv.vmgexit(0, false).unwrap());
-        })
+    let mut cvm = veil_services::CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
+    let ghcb_gfn = cvm.hv.machine.ghcb_msr(0).unwrap();
+    let ghcb = Ghcb::at(&cvm.hv.machine, ghcb_gfn).unwrap();
+
+    let mut group = BenchGroup::new("ablation_partition").warmup(3).iters(50);
+    group.bench("on_demand_service_call", || {
+        let snap = cvm.hv.machine.cycles().snapshot();
+        ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl3, GhcbExit::DomainSwitch, 1, 0).unwrap();
+        cvm.hv.vmgexit(0, false).unwrap();
+        ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl1, GhcbExit::DomainSwitch, 3, 0).unwrap();
+        cvm.hv.vmgexit(0, false).unwrap();
+        cvm.hv.machine.cycles().since(&snap).total()
     });
     group.finish();
 
@@ -40,6 +38,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,37 +1,31 @@
 //! Fig. 6 / Table 5: system audit-log protection (paper: kaudit
 //! 0.3–8.7%, VeilS-LOG 1.4–18.7% over unaudited execution).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use veil_os::audit::AuditMode;
+use veil_testkit::BenchGroup;
 use veil_workloads::driver::VeilUnshieldedDriver;
 use veil_workloads::memcached::MemcachedWorkload;
 use veil_workloads::Workload;
 
+/// Runs the memcached workload under `audit`, returning cycles spent.
 fn run_with(audit: AuditMode, ops: usize) -> u64 {
-    let mut cvm =
-        veil_services::CvmBuilder::new().frames(4096).log_frames(512).build().unwrap();
+    let mut cvm = veil_services::CvmBuilder::new().frames(4096).log_frames(512).build().unwrap();
     cvm.kernel.audit.mode = audit;
     if audit != AuditMode::Off {
         cvm.kernel.audit.rules = veil_os::audit::paper_ruleset();
     }
     let pid = cvm.spawn();
+    let snap = cvm.hv.machine.cycles().snapshot();
     let mut d = VeilUnshieldedDriver { cvm: &mut cvm, pid };
-    MemcachedWorkload { ops, keyspace: 64 }.run(&mut d).unwrap().checksum
+    MemcachedWorkload { ops, keyspace: 64 }.run(&mut d).unwrap();
+    cvm.hv.machine.cycles().since(&snap).total()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("audit_log");
-    group.sample_size(10);
-    group.bench_function("memcached_no_audit", |b| {
-        b.iter(|| black_box(run_with(AuditMode::Off, 150)))
-    });
-    group.bench_function("memcached_kaudit", |b| {
-        b.iter(|| black_box(run_with(AuditMode::Kaudit, 150)))
-    });
-    group.bench_function("memcached_veils_log", |b| {
-        b.iter(|| black_box(run_with(AuditMode::VeilLog, 150)))
-    });
+fn main() {
+    let mut group = BenchGroup::new("audit_log").warmup(1).iters(10);
+    group.bench("memcached_no_audit", || run_with(AuditMode::Off, 150));
+    group.bench("memcached_kaudit", || run_with(AuditMode::Kaudit, 150));
+    group.bench("memcached_veils_log", || run_with(AuditMode::VeilLog, 150));
     group.finish();
 
     for r in veil_bench::fig6(1) {
@@ -46,6 +40,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

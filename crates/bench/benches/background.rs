@@ -1,30 +1,28 @@
 //! §9.1 "Background system impact" (paper: <2% for SPEC CPU, memcached,
 //! NGINX when no protected service is in use).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use veil_testkit::BenchGroup;
 use veil_workloads::driver::{NativeDriver, VeilUnshieldedDriver};
 use veil_workloads::spec_cpu::SpecCpuWorkload;
 use veil_workloads::Workload;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("background_impact");
-    group.sample_size(10);
-    group.bench_function("spec_like_native", |b| {
-        b.iter(|| {
-            let mut cvm = veil_services::CvmBuilder::new().frames(4096).build_native().unwrap();
-            let pid = cvm.spawn();
-            let mut d = NativeDriver { cvm: &mut cvm, pid };
-            black_box(SpecCpuWorkload { iterations: 100 }.run(&mut d).unwrap())
-        })
+fn main() {
+    let mut group = BenchGroup::new("background_impact").warmup(1).iters(10);
+    group.bench("spec_like_native", || {
+        let mut cvm = veil_services::CvmBuilder::new().frames(4096).build_native().unwrap();
+        let pid = cvm.spawn();
+        let snap = cvm.hv.machine.cycles().snapshot();
+        let mut d = NativeDriver { cvm: &mut cvm, pid };
+        SpecCpuWorkload { iterations: 100 }.run(&mut d).unwrap();
+        cvm.hv.machine.cycles().since(&snap).total()
     });
-    group.bench_function("spec_like_veil", |b| {
-        b.iter(|| {
-            let mut cvm = veil_services::CvmBuilder::new().frames(4096).build().unwrap();
-            let pid = cvm.spawn();
-            let mut d = VeilUnshieldedDriver { cvm: &mut cvm, pid };
-            black_box(SpecCpuWorkload { iterations: 100 }.run(&mut d).unwrap())
-        })
+    group.bench("spec_like_veil", || {
+        let mut cvm = veil_services::CvmBuilder::new().frames(4096).build().unwrap();
+        let pid = cvm.spawn();
+        let snap = cvm.hv.machine.cycles().snapshot();
+        let mut d = VeilUnshieldedDriver { cvm: &mut cvm, pid };
+        SpecCpuWorkload { iterations: 100 }.run(&mut d).unwrap();
+        cvm.hv.machine.cycles().since(&snap).total()
     });
     group.finish();
 
@@ -36,6 +34,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,27 +1,20 @@
 //! §9.1 "Initialization time" (paper: Veil adds ~2 s to a 2 GB CVM boot,
 //! +13%, >70% of it in `RMPADJUST`).
 //!
-//! Measures host time to *simulate* both boots and reports the simulated
-//! cycle delta through a Criterion throughput label; the paper-facing
-//! numbers come from `reproduce --experiment boot`.
+//! Samples are the simulated boot cycle counts the builders report; the
+//! paper-facing numbers come from `reproduce --experiment boot`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use veil_testkit::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("boot_time");
-    group.sample_size(10);
-    group.bench_function("native_cvm_boot", |b| {
-        b.iter(|| {
-            let cvm = veil_services::CvmBuilder::new().frames(2048).build_native().unwrap();
-            black_box(cvm.native_boot_cycles)
-        })
+fn main() {
+    let mut group = BenchGroup::new("boot_time").warmup(1).iters(10);
+    group.bench("native_cvm_boot", || {
+        let cvm = veil_services::CvmBuilder::new().frames(2048).build_native().unwrap();
+        cvm.native_boot_cycles
     });
-    group.bench_function("veil_cvm_boot", |b| {
-        b.iter(|| {
-            let cvm = veil_services::CvmBuilder::new().frames(2048).build().unwrap();
-            black_box(cvm.veil_boot_cycles)
-        })
+    group.bench("veil_cvm_boot", || {
+        let cvm = veil_services::CvmBuilder::new().frames(2048).build().unwrap();
+        cvm.veil_boot_cycles
     });
     group.finish();
 
@@ -33,6 +26,3 @@ fn bench(c: &mut Criterion) {
         r.rmpadjust_share * 100.0
     );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

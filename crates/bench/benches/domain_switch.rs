@@ -1,26 +1,23 @@
 //! §9.1 "Domain switch cost" (paper: 7,135 cycles per hypervisor-relayed
 //! switch vs ~1,100 for a plain `VMCALL`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::perms::Vmpl;
+use veil_testkit::BenchGroup;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let mut cvm = veil_services::CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
     let ghcb_gfn = cvm.hv.machine.ghcb_msr(0).unwrap();
     let ghcb = Ghcb::at(&cvm.hv.machine, ghcb_gfn).unwrap();
 
-    let mut group = c.benchmark_group("domain_switch");
-    group.bench_function("os_to_veilmon_roundtrip", |b| {
-        b.iter(|| {
-            ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl3, GhcbExit::DomainSwitch, 0, 0)
-                .unwrap();
-            black_box(cvm.hv.vmgexit(0, false).unwrap());
-            ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl0, GhcbExit::DomainSwitch, 3, 0)
-                .unwrap();
-            black_box(cvm.hv.vmgexit(0, false).unwrap());
-        })
+    let mut group = BenchGroup::new("domain_switch").warmup(3).iters(50);
+    group.bench("os_to_veilmon_roundtrip", || {
+        let snap = cvm.hv.machine.cycles().snapshot();
+        ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl3, GhcbExit::DomainSwitch, 0, 0).unwrap();
+        cvm.hv.vmgexit(0, false).unwrap();
+        ghcb.write_request(&mut cvm.hv.machine, Vmpl::Vmpl0, GhcbExit::DomainSwitch, 3, 0).unwrap();
+        cvm.hv.vmgexit(0, false).unwrap();
+        cvm.hv.machine.cycles().since(&snap).total()
     });
     group.finish();
 
@@ -30,6 +27,3 @@ fn bench(c: &mut Criterion) {
         r.switch_cycles, r.vmcall_cycles
     );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

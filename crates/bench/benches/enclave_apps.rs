@@ -1,39 +1,37 @@
 //! Fig. 5 / Table 4: shielding real-world programs with VeilS-ENC
 //! (paper: 4.9%–63.9% overhead, exit-dominated except lighttpd).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime};
+use veil_testkit::BenchGroup;
 use veil_workloads::driver::{EnclaveDriver, NativeDriver};
 use veil_workloads::minidb::SqliteWorkload;
 use veil_workloads::Workload;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("enclave_apps");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("enclave_apps").warmup(1).iters(10);
 
-    group.bench_function("sqlite_native", |b| {
-        b.iter(|| {
-            let mut cvm = veil_services::CvmBuilder::new().frames(4096).build_native().unwrap();
-            let pid = cvm.spawn();
-            let mut d = NativeDriver { cvm: &mut cvm, pid };
-            black_box(SqliteWorkload { rows: 100 }.run(&mut d).unwrap())
-        })
+    group.bench("sqlite_native", || {
+        let mut cvm = veil_services::CvmBuilder::new().frames(4096).build_native().unwrap();
+        let pid = cvm.spawn();
+        let snap = cvm.hv.machine.cycles().snapshot();
+        let mut d = NativeDriver { cvm: &mut cvm, pid };
+        SqliteWorkload { rows: 100 }.run(&mut d).unwrap();
+        cvm.hv.machine.cycles().since(&snap).total()
     });
-    group.bench_function("sqlite_enclave", |b| {
-        b.iter(|| {
-            let mut cvm = veil_services::CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
-            let pid = cvm.spawn();
-            let handle = install_enclave(
-                &mut cvm,
-                pid,
-                &EnclaveBinary::build("db", 8192, 4096).with_heap_pages(16),
-            )
-            .unwrap();
-            let mut rt = EnclaveRuntime::new(handle);
-            let mut d = EnclaveDriver { cvm: &mut cvm, rt: &mut rt };
-            black_box(SqliteWorkload { rows: 100 }.run(&mut d).unwrap())
-        })
+    group.bench("sqlite_enclave", || {
+        let mut cvm = veil_services::CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
+        let pid = cvm.spawn();
+        let handle = install_enclave(
+            &mut cvm,
+            pid,
+            &EnclaveBinary::build("db", 8192, 4096).with_heap_pages(16),
+        )
+        .unwrap();
+        let mut rt = EnclaveRuntime::new(handle);
+        let snap = cvm.hv.machine.cycles().snapshot();
+        let mut d = EnclaveDriver { cvm: &mut cvm, rt: &mut rt };
+        SqliteWorkload { rows: 100 }.run(&mut d).unwrap();
+        cvm.hv.machine.cycles().since(&snap).total()
     });
     group.finish();
 
@@ -50,6 +48,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

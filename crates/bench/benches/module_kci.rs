@@ -1,26 +1,22 @@
 //! CS1: secure module load/unload under VeilS-KCI (paper: ~55k extra
 //! cycles, +5.7% load / +4.2% unload for a 24 KiB module).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use veil_core::cvm::VENDOR_KEY;
 use veil_os::module::ModuleImage;
+use veil_testkit::BenchGroup;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let image = ModuleImage::build_signed("cs1_module", 6 * 4096 - 512, &VENDOR_KEY);
 
-    let mut group = c.benchmark_group("module_kci");
-    group.sample_size(20);
+    let mut group = BenchGroup::new("module_kci").warmup(2).iters(20);
     for (label, kci) in [("load_unload_native", false), ("load_unload_kci", true)] {
-        group.bench_function(label, |b| {
-            let mut cvm =
-                veil_services::CvmBuilder::new().frames(4096).kci(kci).build().unwrap();
-            b.iter(|| {
-                let (kernel, mut ctx) = cvm.kctx();
-                kernel.load_module(&mut ctx, &image).unwrap();
-                kernel.unload_module(&mut ctx, "cs1_module").unwrap();
-                black_box(())
-            })
+        let mut cvm = veil_services::CvmBuilder::new().frames(4096).kci(kci).build().unwrap();
+        group.bench(label, || {
+            let snap = cvm.hv.machine.cycles().snapshot();
+            let (kernel, mut ctx) = cvm.kctx();
+            kernel.load_module(&mut ctx, &image).unwrap();
+            kernel.unload_module(&mut ctx, "cs1_module").unwrap();
+            cvm.hv.machine.cycles().since(&snap).total()
         });
     }
     group.finish();
@@ -41,6 +37,3 @@ fn bench(c: &mut Criterion) {
         r.unload_increase() * 100.0
     );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,40 +1,42 @@
 //! Fig. 4 / Table 3: system-call redirection cost from a VeilS-ENC
 //! enclave (paper: 3.3–7.1× over native).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use veil_os::sys::{OpenFlags, Sys};
 use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
+use veil_testkit::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("syscall_redirect");
-    group.sample_size(20);
+fn main() {
+    let mut group = BenchGroup::new("syscall_redirect").warmup(3).iters(20);
 
     // Native printf (the paper's highest-ratio syscall).
-    group.bench_function("printf_native", |b| {
+    {
         let mut cvm = veil_services::CvmBuilder::new().frames(2048).build_native().unwrap();
         let pid = cvm.spawn();
-        b.iter(|| {
+        group.bench("printf_native", || {
+            let snap = cvm.hv.machine.cycles().snapshot();
             let mut sys = cvm.sys(pid);
-            black_box(sys.print("Hello World!").unwrap())
-        })
-    });
+            sys.print("Hello World!").unwrap();
+            cvm.hv.machine.cycles().since(&snap).total()
+        });
+    }
 
     // Enclave printf: two domain switches + sanitizer copies per call.
-    group.bench_function("printf_enclave", |b| {
+    {
         let mut cvm = veil_services::CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
         let pid = cvm.spawn();
         let handle =
             install_enclave(&mut cvm, pid, &EnclaveBinary::build("bench", 4096, 0)).unwrap();
         let mut rt = EnclaveRuntime::new(handle);
-        b.iter(|| {
+        group.bench("printf_enclave", || {
+            let snap = cvm.hv.machine.cycles().snapshot();
             let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
-            black_box(sys.print("Hello World!").unwrap())
-        })
-    });
+            sys.print("Hello World!").unwrap();
+            cvm.hv.machine.cycles().since(&snap).total()
+        });
+    }
 
     // Enclave 10 KB read (lowest ratio: copies amortize the switches).
-    group.bench_function("read10k_enclave", |b| {
+    {
         let mut cvm = veil_services::CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
         let pid = cvm.spawn();
         let handle =
@@ -47,11 +49,13 @@ fn bench(c: &mut Criterion) {
             fd
         };
         let mut buf = vec![0u8; 10 * 1024];
-        b.iter(|| {
+        group.bench("read10k_enclave", || {
+            let snap = cvm.hv.machine.cycles().snapshot();
             let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
-            black_box(sys.pread(fd, &mut buf, 0).unwrap())
-        })
-    });
+            sys.pread(fd, &mut buf, 0).unwrap();
+            cvm.hv.machine.cycles().since(&snap).total()
+        });
+    }
     group.finish();
 
     for r in veil_bench::fig4(100) {
@@ -64,6 +68,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -31,10 +31,16 @@ fn main() {
     let bs = &cvm.gate.monitor.boot_stats;
     println!(
         "boot: {} pages validated, {} RMPADJUSTs, {} replica VMSAs, {} cycles\n",
-        bs.pages_validated, bs.rmpadjusts, bs.vmsas_created, bs.cycles
+        bs.pages_validated,
+        bs.rmpadjusts,
+        bs.vmsas_created,
+        veil_bench::fmt::cycles(bs.cycles)
     );
 
-    println!("{:<14} {:>8} {:>8}  {:<7} {:<7} {:<7} {:<7}", "region", "start", "frames", "VMPL0", "VMPL1", "VMPL2", "VMPL3");
+    println!(
+        "{:<14} {:>8} {:>8}  {:<7} {:<7} {:<7} {:<7}",
+        "region", "start", "frames", "VMPL0", "VMPL1", "VMPL2", "VMPL3"
+    );
     let regions: Vec<(&str, std::ops::Range<u64>)> = vec![
         ("mon image", layout.mon_image.clone()),
         ("ser image", layout.ser_image.clone()),
@@ -79,11 +85,8 @@ fn main() {
     println!("\nVCPU replica table (hypervisor view):");
     for vcpu in 0..vcpus {
         if let Some(svm) = cvm.hv.vcpu(vcpu) {
-            let domains: Vec<String> = svm
-                .domain_vmsas
-                .iter()
-                .map(|(vmpl, gfn)| format!("{vmpl}@{gfn:#x}"))
-                .collect();
+            let domains: Vec<String> =
+                svm.domain_vmsas.iter().map(|(vmpl, gfn)| format!("{vmpl}@{gfn:#x}")).collect();
             println!("  vcpu {vcpu}: current {} | {}", svm.current_vmpl, domains.join("  "));
         }
     }
@@ -91,7 +94,7 @@ fn main() {
     println!("\nVMSA frames live: {}", m.vmsa_gfns().len());
     println!(
         "cycle account: {} total ({:.3} simulated seconds)",
-        m.cycles().total(),
+        veil_bench::fmt::cycles(m.cycles().total()),
         m.cycles().seconds()
     );
 }

@@ -4,21 +4,31 @@
 //!   reproduce                   # all experiments, default scale
 //!   reproduce --experiment fig5 # one experiment
 //!   reproduce --scale 4         # larger workloads (closer to paper size)
+//!   reproduce --json            # machine-readable output (veil-testkit JSON)
 //!
 //! Experiments: boot, switch, background, fig4, fig5, fig6, cs1, ltp,
 //! ablation-partition, ablation-exitless, ablation-auditd.
+//!
+//! Everything is driven by the deterministic cycle model, so two runs of
+//! the same binary produce byte-identical tables (and JSON) on any host.
 
-use veil_bench::fmt::{cycles, header, pct, rate_k, row};
+use veil_bench::fmt::{
+    cycles, header, json_array, json_escape, json_f64, json_field, json_object, json_str_field,
+    pct, rate_k, row,
+};
 use veil_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let experiment = flag_value(&args, "--experiment");
-    let scale: usize = flag_value(&args, "--scale")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let scale: usize = flag_value(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let want = |name: &str| experiment.as_deref().is_none_or(|e| e == name);
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", render_json(&want, scale));
+        return;
+    }
 
     println!("Veil (ASPLOS'23) evaluation reproduction — simulated SEV-SNP substrate");
     println!("scale factor: {scale} (paper-sized workloads are larger; relative results are scale-stable)");
@@ -62,6 +72,171 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// Renders every selected experiment as one JSON object, for table
+/// regeneration and CI trend lines.
+fn render_json(want: &dyn Fn(&str) -> bool, scale: usize) -> String {
+    let mut fields = vec![json_field("scale", scale)];
+    if want("boot") {
+        let r = boot_time(8192);
+        fields.push(format!(
+            "\"boot\": {}",
+            json_object(&[
+                json_field("frames", r.frames),
+                json_field("native_cycles", r.native_cycles),
+                json_field("veil_cycles", r.veil_cycles),
+                json_field("rmpadjust_share", json_f64(r.rmpadjust_share)),
+                json_field("extrapolated_2gb_seconds", json_f64(r.extrapolated_2gb_seconds)),
+                json_field("increase_over_full_boot", json_f64(r.increase_over_full_boot())),
+            ])
+        ));
+    }
+    if want("switch") {
+        let r = domain_switch(10_000);
+        fields.push(format!(
+            "\"switch\": {}",
+            json_object(&[
+                json_field("iterations", r.iterations),
+                json_field("switch_cycles", r.switch_cycles),
+                json_field("vmcall_cycles", r.vmcall_cycles),
+            ])
+        ));
+    }
+    if want("background") {
+        let rows: Vec<String> = background(scale)
+            .iter()
+            .map(|r| {
+                json_object(&[
+                    json_str_field("program", r.program),
+                    json_field("native_cycles", r.native_cycles),
+                    json_field("veil_cycles", r.veil_cycles),
+                    json_field("overhead", json_f64(r.overhead())),
+                    json_field("checksum_match", r.checksum_match),
+                ])
+            })
+            .collect();
+        fields.push(format!("\"background\": {}", json_array(&rows)));
+    }
+    if want("fig4") {
+        let rows: Vec<String> = fig4(200 * scale as u64)
+            .iter()
+            .map(|r| {
+                json_object(&[
+                    json_str_field("name", r.name),
+                    json_field("native_cycles", r.native_cycles),
+                    json_field("enclave_cycles", r.enclave_cycles),
+                    json_field("slowdown", json_f64(r.slowdown())),
+                    json_field(
+                        "paper_band",
+                        format!("[{}, {}]", json_f64(r.paper_band.0), json_f64(r.paper_band.1)),
+                    ),
+                ])
+            })
+            .collect();
+        fields.push(format!("\"fig4\": {}", json_array(&rows)));
+    }
+    if want("fig5") {
+        let rows: Vec<String> = fig5(scale)
+            .iter()
+            .map(|r| {
+                json_object(&[
+                    json_str_field("program", r.program),
+                    json_field("overhead", json_f64(r.overhead())),
+                    json_field("paper_overhead", json_f64(r.paper_overhead)),
+                    json_field("redirect_points", json_f64(r.redirect_points())),
+                    json_field("exit_points", json_f64(r.exit_points())),
+                    json_field("exit_rate_per_s", json_f64(r.exit_rate_per_s)),
+                    json_field("checksum_match", r.checksum_match),
+                ])
+            })
+            .collect();
+        fields.push(format!("\"fig5\": {}", json_array(&rows)));
+    }
+    if want("fig6") {
+        let rows: Vec<String> = fig6(scale)
+            .iter()
+            .map(|r| {
+                json_object(&[
+                    json_str_field("program", r.program),
+                    json_field("kaudit_overhead", json_f64(r.kaudit_overhead())),
+                    json_field("veil_overhead", json_f64(r.veil_overhead())),
+                    json_field("paper_kaudit", json_f64(r.paper.0)),
+                    json_field("paper_veil", json_f64(r.paper.1)),
+                    json_field("log_rate_per_s", json_f64(r.log_rate_per_s)),
+                    json_field("records", r.records),
+                ])
+            })
+            .collect();
+        fields.push(format!("\"fig6\": {}", json_array(&rows)));
+    }
+    if want("cs1") {
+        let r = cs1(100);
+        fields.push(format!(
+            "\"cs1\": {}",
+            json_object(&[
+                json_field("load_native", r.load_native),
+                json_field("load_kci", r.load_kci),
+                json_field("unload_native", r.unload_native),
+                json_field("unload_kci", r.unload_kci),
+                json_field("load_increase", json_f64(r.load_increase())),
+                json_field("unload_increase", json_f64(r.unload_increase())),
+            ])
+        ));
+    }
+    if want("ltp") {
+        let r = ltp();
+        let failures: Vec<String> =
+            r.enclave_failures.iter().map(|f| format!("\"{}\"", json_escape(f))).collect();
+        fields.push(format!(
+            "\"ltp\": {}",
+            json_object(&[
+                json_field("total", r.total),
+                json_field("native_pass", r.native_pass),
+                json_field("enclave_pass", r.enclave_pass),
+                json_field("enclave_failures", json_array(&failures)),
+            ])
+        ));
+    }
+    if want("ablation-partition") {
+        let rows: Vec<String> = ablation_static_partition()
+            .iter()
+            .map(|r| {
+                json_object(&[
+                    json_field("vcpus", r.vcpus),
+                    json_field("replicated_capacity", r.replicated_capacity),
+                    json_field("static_capacity", r.static_capacity),
+                    json_field("switch_cost", r.switch_cost),
+                ])
+            })
+            .collect();
+        fields.push(format!("\"ablation_partition\": {}", json_array(&rows)));
+    }
+    if want("ablation-exitless") {
+        let rows: Vec<String> = ablation_exitless(400 * scale)
+            .iter()
+            .map(|r| {
+                json_object(&[
+                    json_field("batch", r.batch),
+                    json_field("overhead", json_f64(r.overhead)),
+                ])
+            })
+            .collect();
+        fields.push(format!("\"ablation_exitless\": {}", json_array(&rows)));
+    }
+    if want("ablation-auditd") {
+        let rows: Vec<String> = ablation_auditd(scale)
+            .iter()
+            .map(|r| {
+                json_object(&[
+                    json_str_field("sink", r.sink),
+                    json_field("overhead", json_f64(r.overhead)),
+                ])
+            })
+            .collect();
+        fields.push(format!("\"ablation_auditd\": {}", json_array(&rows)));
+    }
+    json_object(&fields)
+}
+
 fn run_boot() {
     header("§9.1 Initialization time (paper: +~2 s on 2 GB, +13%, >70% RMPADJUST)");
     let r = boot_time(8192);
@@ -79,14 +254,24 @@ fn run_boot() {
 fn run_switch() {
     header("§9.1 Domain switch cost (paper: 7,135 cycles vs ~1,100 VMCALL)");
     let r = domain_switch(10_000);
-    println!("hypervisor-relayed domain switch: {} cycles ({} iterations)", cycles(r.switch_cycles), r.iterations);
+    println!(
+        "hypervisor-relayed domain switch: {} cycles ({} iterations)",
+        cycles(r.switch_cycles),
+        r.iterations
+    );
     println!("plain VMCALL exit (non-SNP VM):   {} cycles", cycles(r.vmcall_cycles));
     println!("ratio: {:.1}x", r.switch_cycles as f64 / r.vmcall_cycles as f64);
 }
 
 fn run_background(scale: usize) {
     header("§9.1 Background system impact (paper: <2% for all three)");
-    row(&[("program", 12), ("native cycles", 17), ("veil cycles", 17), ("overhead", 10), ("output", 8)]);
+    row(&[
+        ("program", 12),
+        ("native cycles", 17),
+        ("veil cycles", 17),
+        ("overhead", 10),
+        ("output", 8),
+    ]);
     for r in background(scale) {
         row(&[
             (r.program, 12),
@@ -181,7 +366,9 @@ fn run_cs1() {
 }
 
 fn run_ltp() {
-    header("§7 LTP-style conformance (paper: SDK passes a subset; unsupported calls kill the enclave)");
+    header(
+        "§7 LTP-style conformance (paper: SDK passes a subset; unsupported calls kill the enclave)",
+    );
     let r = ltp();
     println!("native CVM:  {}/{} cases pass", r.native_pass, r.total);
     println!("enclave SDK: {}/{} cases pass", r.enclave_pass, r.total);

@@ -259,20 +259,27 @@ fn fig4_measure(d: &mut dyn Driver, iterations: u64) -> Vec<(&'static str, u64)>
     .expect("fig4 setup");
 
     // A measured loop: prep (untimed) -> op (timed) -> cleanup (untimed).
-    let mut run = |prep: &mut dyn FnMut(&mut dyn Sys, &mut Fig4State) -> Result<(), veil_os::error::Errno>,
-                   op: &mut dyn FnMut(&mut dyn Sys, &mut Fig4State) -> Result<(), veil_os::error::Errno>,
-                   cleanup: &mut dyn FnMut(&mut dyn Sys, &mut Fig4State) -> Result<(), veil_os::error::Errno>|
-     -> u64 {
-        let mut total = 0u64;
-        for _ in 0..iterations {
-            d.shielded(&mut |sys| prep(sys, &mut state.borrow_mut())).expect("prep");
-            let start = d.cycles();
-            d.shielded(&mut |sys| op(sys, &mut state.borrow_mut())).expect("op");
-            total += d.cycles() - start;
-            d.shielded(&mut |sys| cleanup(sys, &mut state.borrow_mut())).expect("cleanup");
-        }
-        total / iterations
-    };
+    let mut run =
+        |prep: &mut dyn FnMut(
+            &mut dyn Sys,
+            &mut Fig4State,
+        ) -> Result<(), veil_os::error::Errno>,
+         op: &mut dyn FnMut(&mut dyn Sys, &mut Fig4State) -> Result<(), veil_os::error::Errno>,
+         cleanup: &mut dyn FnMut(
+            &mut dyn Sys,
+            &mut Fig4State,
+        ) -> Result<(), veil_os::error::Errno>|
+         -> u64 {
+            let mut total = 0u64;
+            for _ in 0..iterations {
+                d.shielded(&mut |sys| prep(sys, &mut state.borrow_mut())).expect("prep");
+                let start = d.cycles();
+                d.shielded(&mut |sys| op(sys, &mut state.borrow_mut())).expect("op");
+                total += d.cycles() - start;
+                d.shielded(&mut |sys| cleanup(sys, &mut state.borrow_mut())).expect("cleanup");
+            }
+            total / iterations
+        };
 
     let mut out = Vec::new();
     // open: "Open a text file with read and write permissions".
@@ -516,10 +523,23 @@ impl AuditRow {
 /// Paper: kaudit 0.3–8.7%, VeilS-LOG 1.4–18.7%.
 pub fn fig6(scale: usize) -> Vec<AuditRow> {
     let mut rows = Vec::new();
-    let mut programs: Vec<(&'static str, (f64, f64), Box<dyn Workload>)> = vec![
-        ("OpenSSL", (0.003, 0.014), Box::new(OpensslWorkload { rounds: 25 * scale, burst_len: 80 * 1024 })),
-        ("7-Zip", (0.005, 0.02), Box::new(SevenZipWorkload { corpus_len: 16 * 1024, iterations: 15 * scale })),
-        ("Memcached", (0.087, 0.187), Box::new(MemcachedWorkload { ops: 600 * scale, keyspace: 128 })),
+    type AuditProgram = (&'static str, (f64, f64), Box<dyn Workload>);
+    let mut programs: Vec<AuditProgram> = vec![
+        (
+            "OpenSSL",
+            (0.003, 0.014),
+            Box::new(OpensslWorkload { rounds: 25 * scale, burst_len: 80 * 1024 }),
+        ),
+        (
+            "7-Zip",
+            (0.005, 0.02),
+            Box::new(SevenZipWorkload { corpus_len: 16 * 1024, iterations: 15 * scale }),
+        ),
+        (
+            "Memcached",
+            (0.087, 0.187),
+            Box::new(MemcachedWorkload { ops: 600 * scale, keyspace: 128 }),
+        ),
         ("SQLite", (0.01, 0.03), Box::new(SqliteSpeedtestWorkload { ops: 80 * scale })),
         ("NGINX", (0.05, 0.17), Box::new(HttpWorkload::nginx(30 * scale))),
     ];
@@ -587,7 +607,8 @@ pub fn cs1(repeats: u64) -> ModuleCost {
     let measure = |kci: bool| -> (u64, u64) {
         let mut cvm = CvmBuilder::new().frames(BENCH_FRAMES).kci(kci).build().expect("boot");
         // 24 KiB installed size; ~4.7 kB serialized image like the paper's.
-        let image = ModuleImage::build_signed("cs1_module", 6 * 4096 - 512, &veil_core::cvm::VENDOR_KEY);
+        let image =
+            ModuleImage::build_signed("cs1_module", 6 * 4096 - 512, &veil_core::cvm::VENDOR_KEY);
         let (mut load_total, mut unload_total) = (0u64, 0u64);
         for _ in 0..repeats {
             let snap = cvm.hv.machine.cycles().snapshot();
@@ -639,8 +660,8 @@ pub fn ltp() -> LtpOutcome {
     let enclave = {
         let mut cvm = veil_cvm();
         let pid = cvm.spawn();
-        let handle =
-            install_enclave(&mut cvm, pid, &EnclaveBinary::build("ltp", 4096, 1024)).expect("install");
+        let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("ltp", 4096, 1024))
+            .expect("install");
         let mut rt = EnclaveRuntime::new(handle);
         let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
         veil_sdk::ltp::run_suite(&mut sys)
@@ -738,13 +759,13 @@ pub fn ablation_exitless(rows: usize) -> Vec<BatchingRow> {
         .map(|batch| {
             let mut cvm = veil_cvm();
             let pid = cvm.spawn();
-            let binary =
-                EnclaveBinary::build("batched", 16 * 1024, 8 * 1024).with_heap_pages(32);
+            let binary = EnclaveBinary::build("batched", 16 * 1024, 8 * 1024).with_heap_pages(32);
             let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
             let mut rt = EnclaveRuntime::new(handle);
             let snap = cvm.hv.machine.cycles().snapshot();
             let stats = {
-                let mut d = BatchedEnclaveDriver { cvm: &mut cvm, rt: &mut rt, batch: batch as usize };
+                let mut d =
+                    BatchedEnclaveDriver { cvm: &mut cvm, rt: &mut rt, batch: batch as usize };
                 w.run(&mut d).expect("batched run")
             };
             assert_eq!(stats.checksum, native_sum, "batched output must match native");

@@ -1,54 +1,11 @@
 //! Table formatting for the `reproduce` binary.
+//!
+//! The implementation lives in `veil_testkit::fmt` so the bench
+//! harness, the property engine, and the inspection binaries all render
+//! numbers the same way; this module re-exports it under the historical
+//! `veil_bench::fmt` path.
 
-/// Formats a fraction as a signed percentage.
-pub fn pct(f: f64) -> String {
-    format!("{:+.1}%", f * 100.0)
-}
-
-/// Formats a per-second rate as `N.Nk`.
-pub fn rate_k(r: f64) -> String {
-    format!("{:.1}k", r / 1000.0)
-}
-
-/// Formats cycles with thousands separators.
-pub fn cycles(c: u64) -> String {
-    let s = c.to_string();
-    let mut out = String::new();
-    for (i, ch) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
-            out.push(',');
-        }
-        out.push(ch);
-    }
-    out
-}
-
-/// Prints a header with a rule.
-pub fn header(title: &str) {
-    println!("\n{title}");
-    println!("{}", "=".repeat(title.len()));
-}
-
-/// Prints a row of fixed-width columns.
-pub fn row(cols: &[(&str, usize)]) {
-    let mut line = String::new();
-    for (text, width) in cols {
-        line.push_str(&format!("{text:<width$}"));
-    }
-    println!("{}", line.trim_end());
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn formatting() {
-        assert_eq!(pct(0.049), "+4.9%");
-        assert_eq!(pct(-0.02), "-2.0%");
-        assert_eq!(rate_k(22_400.0), "22.4k");
-        assert_eq!(cycles(7135), "7,135");
-        assert_eq!(cycles(1234567), "1,234,567");
-        assert_eq!(cycles(5), "5");
-    }
-}
+pub use veil_testkit::fmt::{
+    cycles, header, json_array, json_escape, json_f64, json_field, json_object, json_str_field,
+    pct, rate_k, row,
+};

@@ -153,11 +153,8 @@ impl CvmBuilder {
             Machine::new(MachineConfig { frames: self.frames as usize, ..Default::default() });
         let mut hv = Hypervisor::new(machine);
         // The native boot image is just the kernel.
-        let image: Vec<(u64, Vec<u8>)> = layout
-            .kernel_text
-            .clone()
-            .map(|gfn| (gfn, image_page(gfn, "linux-guest")))
-            .collect();
+        let image: Vec<(u64, Vec<u8>)> =
+            layout.kernel_text.clone().map(|gfn| (gfn, image_page(gfn, "linux-guest"))).collect();
         hv.launch(&image, layout.boot_vmsa)?;
 
         let boot_start = hv.machine.cycles().total();

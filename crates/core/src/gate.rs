@@ -15,8 +15,8 @@
 //! Architectural delegations (`PVALIDATE`, VCPU boot) terminate in
 //! VeilMon (`Dom_MON`); service requests terminate in `Dom_SER`.
 
-use crate::monitor::Monitor;
 use crate::idcb::Idcb;
+use crate::monitor::Monitor;
 use crate::service::ServiceDispatch;
 use veil_hv::{HvResponse, Hypervisor};
 use veil_os::error::OsError;
@@ -174,7 +174,7 @@ mod tests {
     use veil_snp::machine::{Machine, MachineConfig};
     use veil_snp::mem::gpa_of;
 
-    fn booted_gate() -> (Hypervisor, VeilGate<NoServices>) {
+    fn booted_gate_with(register_ghcb: bool) -> (Hypervisor, VeilGate<NoServices>) {
         let frames = 2048u64;
         let machine =
             Machine::new(MachineConfig { frames: frames as usize, ..MachineConfig::default() });
@@ -184,10 +184,16 @@ mod tests {
             layout.mon_image.clone().map(|g| (g, vec![0xcc; 64])).collect();
         hv.launch(&image, layout.boot_vmsa).unwrap();
         let monitor = Monitor::init(&mut hv, layout, 1).unwrap();
-        // The kernel would register its GHCB at boot; do it here.
-        let ghcb = monitor.layout.kernel_ghcb_gfns(1)[0];
-        hv.machine.set_ghcb_msr(0, ghcb);
+        if register_ghcb {
+            // The kernel would register its GHCB at boot; do it here.
+            let ghcb = monitor.layout.kernel_ghcb_gfns(1)[0];
+            hv.machine.set_ghcb_msr(0, ghcb);
+        }
         (hv, VeilGate::new(monitor, NoServices))
+    }
+
+    fn booted_gate() -> (Hypervisor, VeilGate<NoServices>) {
+        booted_gate_with(true)
     }
 
     #[test]
@@ -196,9 +202,8 @@ mod tests {
         let fresh = gate.monitor.layout.shared.start + 4;
         hv.machine.rmp_assign(fresh).unwrap();
         let before = hv.stats().domain_switches;
-        let resp = gate
-            .request(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true })
-            .unwrap();
+        let resp =
+            gate.request(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true }).unwrap();
         assert_eq!(resp, MonResponse::Ok);
         // Two hypervisor-relayed switches: in and out.
         assert_eq!(hv.stats().domain_switches, before + 2);
@@ -212,7 +217,8 @@ mod tests {
     fn refused_request_still_switches_back() {
         let (mut hv, mut gate) = booted_gate();
         let protected = gate.monitor.layout.mon_pool.start;
-        let err = gate.request(&mut hv, 0, MonRequest::Pvalidate { gfn: protected, validate: false });
+        let err =
+            gate.request(&mut hv, 0, MonRequest::Pvalidate { gfn: protected, validate: false });
         assert!(err.is_err());
         assert_eq!(hv.vcpu(0).unwrap().current_vmpl, Vmpl::Vmpl3);
     }
@@ -239,6 +245,60 @@ mod tests {
             },
         );
         assert!(matches!(err, Err(OsError::MonitorRefused(_))), "{err:?}");
+    }
+
+    #[test]
+    fn request_without_registered_ghcb_is_config_error() {
+        let (mut hv, mut gate) = booted_gate_with(false);
+        let fresh = gate.monitor.layout.shared.start + 4;
+        hv.machine.rmp_assign(fresh).unwrap();
+        let err = gate.request(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true });
+        match err {
+            Err(OsError::Config(msg)) => assert!(msg.contains("no GHCB"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        // The switch never reached the hypervisor, so nothing halted.
+        assert!(hv.machine.halted().is_none());
+        assert_eq!(hv.stats().domain_switches, 0);
+    }
+
+    #[test]
+    fn hypervisor_refusal_surfaces_as_monitor_refused() {
+        let (mut hv, mut gate) = booted_gate();
+        hv.policy.refuse_switches = true;
+        let fresh = gate.monitor.layout.shared.start + 4;
+        hv.machine.rmp_assign(fresh).unwrap();
+        let domain_before = hv.vcpu(0).unwrap().current_vmpl;
+        let err = gate.request(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true });
+        match err {
+            Err(OsError::MonitorRefused(msg)) => {
+                assert!(msg.contains("refused switch"), "{msg}");
+                assert!(msg.contains("host policy"), "{msg}");
+            }
+            other => panic!("expected MonitorRefused, got {other:?}"),
+        }
+        // Denial of service, not a crash: the VCPU never left its domain.
+        assert!(hv.machine.halted().is_none());
+        assert_eq!(hv.vcpu(0).unwrap().current_vmpl, domain_before);
+    }
+
+    #[test]
+    fn resume_in_wrong_domain_detected() {
+        let (mut hv, mut gate) = booted_gate();
+        // Pvalidate targets Dom_MON (VMPL0); a malicious host resumes the
+        // kernel's own VMSA instead.
+        hv.policy.misroute_switch_to = Some(Vmpl::Vmpl3);
+        let fresh = gate.monitor.layout.shared.start + 4;
+        hv.machine.rmp_assign(fresh).unwrap();
+        let err = gate.request(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true });
+        match err {
+            Err(OsError::MonitorRefused(msg)) => {
+                assert!(msg.contains("unexpected hv response"), "{msg}")
+            }
+            other => panic!("expected MonitorRefused, got {other:?}"),
+        }
+        // The misrouted request never dispatched: the page stays unvalidated.
+        assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(fresh), b"x").is_err());
     }
 
     #[test]

@@ -3,13 +3,13 @@
 use crate::domain::Domain;
 use crate::layout::Layout;
 use std::collections::BTreeSet;
+use veil_crypto::{DhKeyPair, DhPublic, Drbg};
 use veil_hv::Hypervisor;
 use veil_os::error::OsError;
 use veil_snp::attest::AttestationReport;
 use veil_snp::cost::CostCategory;
 use veil_snp::machine::Machine;
 use veil_snp::perms::{Vmpl, VmplPerms};
-use veil_crypto::{DhKeyPair, DhPublic, Drbg};
 
 /// Cycle statistics of the one-time boot flow, for the §9.1 boot bench.
 #[derive(Debug, Clone, Copy, Default)]
@@ -91,7 +91,13 @@ impl Monitor {
             Ok(())
         };
         // Services (Dom_SER) read their own image and own their pool/log.
-        grant(hv, &mut stats, layout.ser_image.clone(), Vmpl::Vmpl1, VmplPerms::rx_super().union(VmplPerms::WRITE))?;
+        grant(
+            hv,
+            &mut stats,
+            layout.ser_image.clone(),
+            Vmpl::Vmpl1,
+            VmplPerms::rx_super().union(VmplPerms::WRITE),
+        )?;
         grant(hv, &mut stats, layout.ser_pool.clone(), Vmpl::Vmpl1, VmplPerms::all())?;
         grant(hv, &mut stats, layout.log_storage.clone(), Vmpl::Vmpl1, VmplPerms::rw())?;
         // IDCBs: kernel memory — both VMPL-1 (read requests) and VMPL-3.
@@ -323,10 +329,8 @@ impl Monitor {
 
     /// Completes the channel with the remote user's public value.
     pub fn complete_channel(&mut self, peer: &DhPublic) -> Result<(), OsError> {
-        let dh = self
-            .dh
-            .as_ref()
-            .ok_or_else(|| OsError::Config("begin_channel not called".into()))?;
+        let dh =
+            self.dh.as_ref().ok_or_else(|| OsError::Config("begin_channel not called".into()))?;
         self.channel_key = Some(dh.agree(peer).0);
         Ok(())
     }

@@ -50,7 +50,11 @@ pub struct RemoteUser {
 impl RemoteUser {
     /// A user who knows the device verification key and (optionally) the
     /// golden boot-image measurement.
-    pub fn new(device_key: [u8; 32], expected_measurement: Option<[u8; 32]>, seed: &[u8; 32]) -> Self {
+    pub fn new(
+        device_key: [u8; 32],
+        expected_measurement: Option<[u8; 32]>,
+        seed: &[u8; 32],
+    ) -> Self {
         RemoteUser { device_key, expected_measurement, dh: DhKeyPair::from_seed(seed) }
     }
 

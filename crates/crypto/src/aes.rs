@@ -262,9 +262,8 @@ mod tests {
         ];
         // SP 800-38A uses a full 16-byte counter block; ours is nonce||ctr,
         // so build the equivalent: nonce = first 12 bytes, ctr = last 4 BE.
-        let nonce: [u8; 12] = [
-            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb,
-        ];
+        let nonce: [u8; 12] =
+            [0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb];
         let counter = u32::from_be_bytes([0xfc, 0xfd, 0xfe, 0xff]);
         let mut data: [u8; 16] = [
             0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,

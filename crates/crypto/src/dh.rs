@@ -54,10 +54,10 @@ impl U256 {
     fn add_with_carry(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
-            let (a, c1) = self.0[i].overflowing_add(rhs.0[i]);
-            let (b, c2) = a.overflowing_add(carry as u64);
-            out[i] = b;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (lo, c1) = a.overflowing_add(*b);
+            let (sum, c2) = lo.overflowing_add(carry as u64);
+            *o = sum;
             carry = c1 || c2;
         }
         (U256(out), carry)
@@ -66,10 +66,10 @@ impl U256 {
     fn sub_with_borrow(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
-            let (a, b1) = self.0[i].overflowing_sub(rhs.0[i]);
-            let (b, b2) = a.overflowing_sub(borrow as u64);
-            out[i] = b;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (lo, b1) = a.overflowing_sub(*b);
+            let (diff, b2) = lo.overflowing_sub(borrow as u64);
+            *o = diff;
             borrow = b1 || b2;
         }
         (U256(out), borrow)
@@ -122,9 +122,9 @@ impl U256 {
     fn mul_small(self, k: u64) -> (U256, u64) {
         let mut out = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
-            let v = (self.0[i] as u128) * (k as u128) + carry;
-            out[i] = v as u64;
+        for (o, limb) in out.iter_mut().zip(self.0.iter()) {
+            let v = (*limb as u128) * (k as u128) + carry;
+            *o = v as u64;
             carry = v >> 64;
         }
         (U256(out), carry as u64)

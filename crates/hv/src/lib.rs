@@ -55,6 +55,16 @@ pub struct HvPolicy {
     /// (§6.2: "the hypervisor is instructed to only allow domain switches
     /// between Dom_UNT and Dom_ENC using this GHCB").
     pub enforce_enclave_ghcb_scope: bool,
+    /// Refuse every guest-requested domain switch (a denial-of-service
+    /// hypervisor). Liveness is explicitly outside Veil's threat model
+    /// (§4) — the guest must surface the refusal as an error, not crash.
+    pub refuse_switches: bool,
+    /// Resume switches in this domain instead of the requested one (the
+    /// "resume from the wrong VMSA" attack of Table 2). The response
+    /// still reports the domain actually resumed, because the guest-side
+    /// gate detects the mismatch from its own post-switch state; `None`
+    /// means honest routing.
+    pub misroute_switch_to: Option<Vmpl>,
 }
 
 impl Default for HvPolicy {
@@ -63,6 +73,8 @@ impl Default for HvPolicy {
             relay_interrupts_to_unt: true,
             tamper_vmsa_on_switch: false,
             enforce_enclave_ghcb_scope: true,
+            refuse_switches: false,
+            misroute_switch_to: None,
         }
     }
 }
@@ -233,8 +245,7 @@ impl Hypervisor {
                 v.domain_vmsas.insert(vmpl, vmsa_gfn);
             }
             None => {
-                let mut v =
-                    VcpuSvm { vcpu_id, domain_vmsas: BTreeMap::new(), current_vmpl: vmpl };
+                let mut v = VcpuSvm { vcpu_id, domain_vmsas: BTreeMap::new(), current_vmpl: vmpl };
                 v.domain_vmsas.insert(vmpl, vmsa_gfn);
                 self.vcpus.push(v);
             }
@@ -270,9 +281,8 @@ impl Hypervisor {
             Err(_) => {
                 // GHCB not actually shared -> hypervisor cannot read it;
                 // §6.2: "the CVM crashes on an attempted domain switch".
-                let reason = HaltReason::SecurityViolation(
-                    "GHCB page is not hypervisor-accessible".into(),
-                );
+                let reason =
+                    HaltReason::SecurityViolation("GHCB page is not hypervisor-accessible".into());
                 self.machine.halt(reason.clone());
                 return Err(SnpError::Halted(reason));
             }
@@ -348,6 +358,9 @@ impl Hypervisor {
             Some(v) => v.current_vmpl,
             None => return Ok(HvResponse::Refused { reason: "unknown vcpu" }),
         };
+        if self.policy.refuse_switches {
+            return Ok(HvResponse::Refused { reason: "switch refused by host policy" });
+        }
         if from_user_ghcb && self.policy.enforce_enclave_ghcb_scope {
             let allowed = matches!(
                 (current, target),
@@ -359,6 +372,14 @@ impl Hypervisor {
                 });
             }
         }
+        // Malicious misrouting: resume a different domain's VMSA than the
+        // one the guest asked for. Hardware guarantees the resumed VMSA is
+        // one the guest created, so the worst the host can do is pick the
+        // wrong (but intact) domain.
+        let target = match self.policy.misroute_switch_to {
+            Some(wrong) if wrong != target => wrong,
+            _ => target,
+        };
         let vmsa_gfn = match self.vcpu(vcpu_id).and_then(|v| v.domain_vmsas.get(&target)) {
             Some(g) => *g,
             None => return Ok(HvResponse::Refused { reason: "no VMSA for target domain" }),
@@ -475,10 +496,7 @@ mod tests {
         assert!(hv.machine.launch_measurement().is_some());
         assert_eq!(hv.vcpu(0).unwrap().current_vmpl, Vmpl::Vmpl0);
         // Boot image contents landed in (now private) memory.
-        assert_eq!(
-            hv.machine.read(Vmpl::Vmpl0, Machine::gpa(1), 12).unwrap(),
-            b"veilmon code"
-        );
+        assert_eq!(hv.machine.read(Vmpl::Vmpl0, Machine::gpa(1), 12).unwrap(), b"veilmon code");
         // ...and are invisible to the host.
         assert!(hv.attack_read(Machine::gpa(1), 12).is_err());
     }
@@ -550,16 +568,14 @@ mod tests {
         hv.machine.set_ghcb_msr(0, 20);
         let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
         // Guest asks to make frame 30 private.
-        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PageStateChange, 30, 1)
-            .unwrap();
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PageStateChange, 30, 1).unwrap();
         assert_eq!(hv.vmgexit(0, false).unwrap(), HvResponse::PageStateChanged);
         // Guest validates it (VMPL0 path) and uses it.
         hv.machine.pvalidate(Vmpl::Vmpl0, 30, true).unwrap();
         hv.machine.write(Vmpl::Vmpl0, Machine::gpa(30), b"private").unwrap();
         // Back to shared: hardware scrubs.
         hv.machine.pvalidate(Vmpl::Vmpl0, 30, false).unwrap();
-        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PageStateChange, 30, 0)
-            .unwrap();
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PageStateChange, 30, 0).unwrap();
         assert_eq!(hv.vmgexit(0, false).unwrap(), HvResponse::PageStateChanged);
         assert_eq!(hv.attack_read(Machine::gpa(30), 7).unwrap(), vec![0u8; 7]);
     }
@@ -630,6 +646,43 @@ mod tests {
         // A frame that is not a VMSA is refused.
         ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::CreateVcpu, 13, 2).unwrap();
         assert!(matches!(hv.vmgexit(0, false).unwrap(), HvResponse::Refused { .. }));
+    }
+
+    #[test]
+    fn refuse_switches_policy_reports_not_halts() {
+        let mut hv = booted();
+        validated(&mut hv, 10);
+        hv.machine.vmsa_create(Vmpl::Vmpl0, 10, 0, Vmpl::Vmpl3, Cpl::Cpl0).unwrap();
+        hv.register_domain_vmsa(0, Vmpl::Vmpl3, 10);
+        hv.machine.set_ghcb_msr(0, 20);
+        hv.policy.refuse_switches = true;
+        let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::DomainSwitch, 3, 0).unwrap();
+        let resp = hv.vmgexit(0, false).unwrap();
+        assert_eq!(resp, HvResponse::Refused { reason: "switch refused by host policy" });
+        // Liveness attack, not an integrity attack: the CVM keeps running
+        // and the VCPU never left its domain.
+        assert!(hv.machine.halted().is_none());
+        assert_eq!(hv.vcpu(0).unwrap().current_vmpl, Vmpl::Vmpl0);
+        assert_eq!(hv.stats().domain_switches, 0);
+    }
+
+    #[test]
+    fn misrouted_switch_reports_domain_actually_resumed() {
+        let mut hv = booted();
+        validated(&mut hv, 10);
+        hv.machine.vmsa_create(Vmpl::Vmpl0, 10, 0, Vmpl::Vmpl3, Cpl::Cpl0).unwrap();
+        hv.register_domain_vmsa(0, Vmpl::Vmpl3, 10);
+        hv.machine.set_ghcb_msr(0, 20);
+        hv.vcpu_mut(0).unwrap().current_vmpl = Vmpl::Vmpl3;
+        // Host resumes VMPL0's VMSA although the guest asked for VMPL1.
+        hv.policy.misroute_switch_to = Some(Vmpl::Vmpl0);
+        let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl3, GhcbExit::DomainSwitch, 1, 0).unwrap();
+        let resp = hv.vmgexit(0, false).unwrap();
+        // The response names the domain that actually resumed (the boot
+        // VMSA at frame 3), not the requested one.
+        assert_eq!(resp, HvResponse::Switched { vmpl: Vmpl::Vmpl0, vmsa_gfn: 3 });
     }
 
     #[test]

@@ -108,7 +108,14 @@ impl AuditState {
     }
 
     /// Builds the next record.
-    pub fn make_record(&mut self, pid: u32, uid: u32, sysno: Sysno, ret: i64, tsc: u64) -> AuditRecord {
+    pub fn make_record(
+        &mut self,
+        pid: u32,
+        uid: u32,
+        sysno: Sysno,
+        ret: i64,
+        tsc: u64,
+    ) -> AuditRecord {
         let seq = self.seq;
         self.seq += 1;
         AuditRecord { seq, pid, uid, sysno, ret, tsc }
@@ -121,10 +128,9 @@ pub fn paper_ruleset() -> BTreeSet<Sysno> {
     use Sysno::*;
     [
         Read, Readv, Write, Writev, Sendto, Recvfrom, Sendmsg, Recvmsg, Mmap, Mprotect, Link,
-        Symlink, Clone, Fork, Vfork, Execve, Open, Close, Creat, Openat, Mknodat, Dup, Dup2,
-        Dup3, Bind, Accept, Accept4, Connect, Rename, Setuid, Setreuid, Setresuid, Chmod,
-        Fchmod, Pipe, Pipe2, Truncate, Ftruncate, Sendfile, Unlink, Unlinkat, Socketpair,
-        Splice,
+        Symlink, Clone, Fork, Vfork, Execve, Open, Close, Creat, Openat, Mknodat, Dup, Dup2, Dup3,
+        Bind, Accept, Accept4, Connect, Rename, Setuid, Setreuid, Setresuid, Chmod, Fchmod, Pipe,
+        Pipe2, Truncate, Ftruncate, Sendfile, Unlink, Unlinkat, Socketpair, Splice,
     ]
     .into_iter()
     .collect()

@@ -135,9 +135,8 @@ impl Kernel {
             kernel.vfs.mkdir(dir, 0o755).map_err(|e| OsError::Config(format!("mkfs: {e}")))?;
         }
         // Exported symbols modules relocate against.
-        for (i, sym) in ["printk", "kmalloc", "kfree", "register_chrdev", "audit_log_end"]
-            .iter()
-            .enumerate()
+        for (i, sym) in
+            ["printk", "kmalloc", "kfree", "register_chrdev", "audit_log_end"].iter().enumerate()
         {
             kernel.symbols.insert((*sym).to_string(), 0xffff_8000_0000 + (i as u64) * 0x40);
         }
@@ -270,7 +269,12 @@ impl Kernel {
 
     /// `mmap`: anonymous, page-rounded, eagerly backed (the simulation has
     /// no lazy faults for ordinary processes).
-    pub fn sys_mmap(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid, len: usize) -> Result<u64, Errno> {
+    pub fn sys_mmap(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        pid: Pid,
+        len: usize,
+    ) -> Result<u64, Errno> {
         self.charge_base(ctx);
         if len == 0 {
             return Err(Errno::EINVAL);
@@ -379,17 +383,14 @@ impl Kernel {
         if !region_exists {
             return Err(Errno::EINVAL);
         }
-        let flags = if prot_write {
-            PteFlags::user_data()
-        } else {
-            PteFlags::user_ro()
-        };
+        let flags = if prot_write { PteFlags::user_data() } else { PteFlags::user_ro() };
         let pages = len.div_ceil(PAGE_SIZE);
         for i in 0..pages {
             let va = addr + (i * PAGE_SIZE) as u64;
             aspace.protect(&mut ctx.hv.machine, self.vmpl, va, flags).map_err(|_| Errno::EFAULT)?;
             if let Some(enclave_id) = self.process(pid)?.enclave_id {
-                let req = MonRequest::EncPermSync { enclave_id, vaddr: va, pte_flags: flags.bits() };
+                let req =
+                    MonRequest::EncPermSync { enclave_id, vaddr: va, pte_flags: flags.bits() };
                 if ctx.gate.request(ctx.hv, ctx.vcpu, req).is_err() {
                     return Err(Errno::EACCES);
                 }
@@ -460,7 +461,8 @@ impl Kernel {
             if self.vfs.inode(ino)?.is_dir() && flags.write {
                 return Err(Errno::EISDIR);
             }
-            let entry = FdEntry::File { ino, offset: 0, writable: flags.write, append: flags.append };
+            let entry =
+                FdEntry::File { ino, offset: 0, writable: flags.write, append: flags.append };
             Ok(self.process_mut(pid)?.install_fd(entry))
         })();
         let ret = match &result {
@@ -630,22 +632,42 @@ impl Kernel {
     }
 
     /// `stat`.
-    pub fn sys_stat(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid, path: &str) -> Result<SysStat, Errno> {
+    pub fn sys_stat(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        pid: Pid,
+        path: &str,
+    ) -> Result<SysStat, Errno> {
         self.charge_base(ctx);
         let _ = pid;
         let ino = self.vfs.resolve(path)?;
         let node = self.vfs.inode(ino)?;
-        Ok(SysStat { size: node.size() as u64, mode: node.mode, nlink: node.nlink, is_dir: node.is_dir() })
+        Ok(SysStat {
+            size: node.size() as u64,
+            mode: node.mode,
+            nlink: node.nlink,
+            is_dir: node.is_dir(),
+        })
     }
 
     /// `fstat`.
-    pub fn sys_fstat(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid, fd: Fd) -> Result<SysStat, Errno> {
+    pub fn sys_fstat(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        pid: Pid,
+        fd: Fd,
+    ) -> Result<SysStat, Errno> {
         self.charge_base(ctx);
         let entry = self.process(pid)?.fd(fd)?.clone();
         match entry {
             FdEntry::File { ino, .. } => {
                 let node = self.vfs.inode(ino)?;
-                Ok(SysStat { size: node.size() as u64, mode: node.mode, nlink: node.nlink, is_dir: node.is_dir() })
+                Ok(SysStat {
+                    size: node.size() as u64,
+                    mode: node.mode,
+                    nlink: node.nlink,
+                    is_dir: node.is_dir(),
+                })
             }
             _ => Ok(SysStat { size: 0, mode: 0o666, nlink: 1, is_dir: false }),
         }
@@ -722,7 +744,13 @@ impl Kernel {
     }
 
     /// `bind`.
-    pub fn sys_bind(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid, fd: Fd, port: u16) -> Result<(), Errno> {
+    pub fn sys_bind(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        pid: Pid,
+        fd: Fd,
+        port: u16,
+    ) -> Result<(), Errno> {
         self.charge_base(ctx);
         let sid = self.sock_of(pid, fd)?;
         let result = self.sockets.bind(sid, port);
@@ -956,7 +984,11 @@ impl Kernel {
 
     /// Hotplugs a VCPU: prepares its initial state and delegates VMSA
     /// creation to the monitor.
-    pub fn hotplug_vcpu(&mut self, ctx: &mut KernelCtx<'_>, new_vcpu_id: u32) -> Result<(), OsError> {
+    pub fn hotplug_vcpu(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        new_vcpu_id: u32,
+    ) -> Result<(), OsError> {
         // Kernel-side state prep (stack, entry, page tables).
         let stack = self.frames.alloc()?;
         let req = MonRequest::CreateVcpu {
@@ -1006,7 +1038,13 @@ impl Kernel {
     }
 
     /// `dup2`.
-    pub fn sys_dup2(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid, fd: Fd, new_fd: Fd) -> Result<Fd, Errno> {
+    pub fn sys_dup2(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        pid: Pid,
+        fd: Fd,
+        new_fd: Fd,
+    ) -> Result<Fd, Errno> {
         self.charge_base(ctx);
         let entry = self.process(pid)?.fd(fd)?.clone();
         self.process_mut(pid)?.install_fd_at(new_fd, entry);
@@ -1040,7 +1078,12 @@ impl Kernel {
     }
 
     /// Simulated `execve` (audit workloads): charges image-load work.
-    pub fn sys_execve(&mut self, ctx: &mut KernelCtx<'_>, pid: Pid, path: &str) -> Result<(), Errno> {
+    pub fn sys_execve(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        pid: Pid,
+        path: &str,
+    ) -> Result<(), Errno> {
         self.charge_base(ctx);
         let ino = self.vfs.resolve(path)?;
         let size = self.vfs.inode(ino)?.size();
@@ -1067,10 +1110,7 @@ pub struct KernelSys<'a> {
 
 impl KernelSys<'_> {
     fn ctx(&mut self) -> (&mut Kernel, KernelCtx<'_>) {
-        (
-            self.kernel,
-            KernelCtx { hv: self.hv, gate: self.gate, vcpu: self.vcpu },
-        )
+        (self.kernel, KernelCtx { hv: self.hv, gate: self.gate, vcpu: self.vcpu })
     }
 }
 
@@ -1445,7 +1485,10 @@ mod tests {
         s.write(fd, b"one").unwrap();
         s.close(fd).unwrap();
         let fd = s
-            .open("/tmp/log", OpenFlags { read: true, write: true, append: true, ..Default::default() })
+            .open(
+                "/tmp/log",
+                OpenFlags { read: true, write: true, append: true, ..Default::default() },
+            )
             .unwrap();
         s.write(fd, b"two").unwrap();
         let mut buf = [0u8; 6];

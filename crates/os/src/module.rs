@@ -39,8 +39,9 @@ pub struct ModuleImage {
 impl ModuleImage {
     /// Builds and signs a deterministic test module of `text_len` bytes.
     pub fn build_signed(name: &str, text_len: usize, vendor_key: &[u8; 32]) -> ModuleImage {
-        let text: Vec<u8> =
-            (0..text_len).map(|i| ((i as u64 * 167 + name.len() as u64 * 13) % 256) as u8).collect();
+        let text: Vec<u8> = (0..text_len)
+            .map(|i| ((i as u64 * 167 + name.len() as u64 * 13) % 256) as u8)
+            .collect();
         // Sprinkle relocations to printk/kmalloc-style symbols.
         let relocs: Vec<Reloc> = (0..(text_len / 512).max(1))
             .map(|i| Reloc {
@@ -139,8 +140,7 @@ impl ModuleImage {
             let addend = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
             relocs.push(Reloc { offset, symbol, addend });
         }
-        let signature: [u8; 32] =
-            take(&mut pos, 32)?.try_into().map_err(|_| bad("signature"))?;
+        let signature: [u8; 32] = take(&mut pos, 32)?.try_into().map_err(|_| bad("signature"))?;
         if pos != bytes.len() {
             return Err(bad("trailing bytes"));
         }

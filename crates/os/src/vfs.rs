@@ -73,7 +73,8 @@ impl Default for Vfs {
 impl Vfs {
     /// A filesystem containing only `/`.
     pub fn new() -> Self {
-        let root = Inode { kind: InodeKind::Dir { entries: BTreeMap::new() }, mode: 0o755, nlink: 2 };
+        let root =
+            Inode { kind: InodeKind::Dir { entries: BTreeMap::new() }, mode: 0o755, nlink: 2 };
         Vfs { inodes: vec![Some(root)] }
     }
 
@@ -507,8 +508,10 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use std::collections::btree_map::Entry;
         use std::collections::BTreeMap;
+        use veil_testkit::prop::{bytes, one_of, tuple2, u8s, vecs, Strategy};
+        use veil_testkit::{prop_assert, prop_assert_eq};
 
         /// Random create/write/unlink/rename streams against a
         /// name->contents oracle: the VFS must agree at every step.
@@ -520,54 +523,53 @@ mod tests {
             Rename(u8, u8),
         }
 
-        fn op() -> impl Strategy<Value = FsOp> {
-            prop_oneof![
-                (0u8..12).prop_map(FsOp::Create),
-                (0u8..12, proptest::collection::vec(any::<u8>(), 0..64))
-                    .prop_map(|(n, d)| FsOp::Write(n, d)),
-                (0u8..12).prop_map(FsOp::Unlink),
-                (0u8..12, 0u8..12).prop_map(|(a, b)| FsOp::Rename(a, b)),
-            ]
+        fn op() -> Strategy<FsOp> {
+            one_of(vec![
+                u8s(0..12).map(FsOp::Create),
+                tuple2(u8s(0..12), bytes(0..64)).map(|(n, d)| FsOp::Write(n, d)),
+                u8s(0..12).map(FsOp::Unlink),
+                tuple2(u8s(0..12), u8s(0..12)).map(|(a, b)| FsOp::Rename(a, b)),
+            ])
         }
 
         fn path(n: u8) -> String {
             format!("/f{n}")
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-            #[test]
-            fn vfs_matches_oracle(ops in proptest::collection::vec(op(), 1..120)) {
+        #[test]
+        fn vfs_matches_oracle() {
+            veil_testkit::prop::check("vfs_matches_oracle", 64, &vecs(op(), 1..120), |ops| {
                 let mut fs = Vfs::new();
                 let mut oracle: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
                 for op in ops {
                     match op {
                         FsOp::Create(n) => {
                             let r = fs.create(&path(n), 0o644);
-                            if oracle.contains_key(&n) {
-                                prop_assert_eq!(r, Err(Errno::EEXIST));
-                            } else {
-                                prop_assert!(r.is_ok());
-                                oracle.insert(n, Vec::new());
-                            }
-                        }
-                        FsOp::Write(n, data) => {
-                            match fs.resolve(&path(n)) {
-                                Ok(ino) => {
-                                    prop_assert!(oracle.contains_key(&n));
-                                    fs.write_at(ino, 0, &data).unwrap();
-                                    let entry = oracle.get_mut(&n).unwrap();
-                                    if entry.len() < data.len() {
-                                        entry.resize(data.len(), 0);
-                                    }
-                                    entry[..data.len()].copy_from_slice(&data);
+                            match oracle.entry(n) {
+                                Entry::Occupied(_) => {
+                                    prop_assert_eq!(r, Err(Errno::EEXIST));
                                 }
-                                Err(e) => {
-                                    prop_assert_eq!(e, Errno::ENOENT);
-                                    prop_assert!(!oracle.contains_key(&n));
+                                Entry::Vacant(slot) => {
+                                    prop_assert!(r.is_ok());
+                                    slot.insert(Vec::new());
                                 }
                             }
                         }
+                        FsOp::Write(n, data) => match fs.resolve(&path(n)) {
+                            Ok(ino) => {
+                                prop_assert!(oracle.contains_key(&n));
+                                fs.write_at(ino, 0, &data).unwrap();
+                                let entry = oracle.get_mut(&n).unwrap();
+                                if entry.len() < data.len() {
+                                    entry.resize(data.len(), 0);
+                                }
+                                entry[..data.len()].copy_from_slice(&data);
+                            }
+                            Err(e) => {
+                                prop_assert_eq!(e, Errno::ENOENT);
+                                prop_assert!(!oracle.contains_key(&n));
+                            }
+                        },
                         FsOp::Unlink(n) => {
                             let r = fs.unlink(&path(n));
                             prop_assert_eq!(r.is_ok(), oracle.remove(&n).is_some());
@@ -591,7 +593,8 @@ mod tests {
                         prop_assert_eq!(&buf, content);
                     }
                 }
-            }
+                Ok(())
+            });
         }
     }
 }

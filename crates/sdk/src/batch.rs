@@ -58,7 +58,13 @@ impl<'a, 'b> BatchedSys<'a, 'b> {
     /// Panics if `batch_size` is zero.
     pub fn new(inner: &'b mut EnclaveSys<'a>, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchedSys { inner, queue: Vec::new(), batch_size, pending_error: false, stats: BatchStats::default() }
+        BatchedSys {
+            inner,
+            queue: Vec::new(),
+            batch_size,
+            pending_error: false,
+            stats: BatchStats::default(),
+        }
     }
 
     fn queue(&mut self, op: QueuedOp, len: usize) -> Result<usize, Errno> {

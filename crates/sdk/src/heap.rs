@@ -92,11 +92,7 @@ impl HeapAllocator {
             return Err(HeapError::ZeroSize);
         }
         let need = Self::round(size);
-        let idx = self
-            .free
-            .iter()
-            .position(|c| c.len >= need)
-            .ok_or(HeapError::OutOfMemory)?;
+        let idx = self.free.iter().position(|c| c.len >= need).ok_or(HeapError::OutOfMemory)?;
         let chunk = self.free[idx];
         let addr = chunk.start;
         if chunk.len == need {
@@ -117,11 +113,7 @@ impl HeapAllocator {
     /// [`HeapError::BadFree`] for pointers not returned by
     /// [`HeapAllocator::malloc`] (double free included).
     pub fn free(&mut self, addr: u64) -> Result<(), HeapError> {
-        let idx = self
-            .live
-            .iter()
-            .position(|(a, _)| *a == addr)
-            .ok_or(HeapError::BadFree(addr))?;
+        let idx = self.live.iter().position(|(a, _)| *a == addr).ok_or(HeapError::BadFree(addr))?;
         let (start, len) = self.live.swap_remove(idx);
         self.used -= len;
         // Insert sorted, then coalesce with both neighbours.
@@ -151,11 +143,8 @@ impl HeapAllocator {
     /// Propagates [`HeapError::BadFree`]/[`HeapError::OutOfMemory`]; on
     /// failure the original allocation is untouched.
     pub fn realloc(&mut self, addr: u64, new_size: u64) -> Result<u64, HeapError> {
-        let (_, old_len) = *self
-            .live
-            .iter()
-            .find(|(a, _)| *a == addr)
-            .ok_or(HeapError::BadFree(addr))?;
+        let (_, old_len) =
+            *self.live.iter().find(|(a, _)| *a == addr).ok_or(HeapError::BadFree(addr))?;
         if Self::round(new_size) <= old_len {
             return Ok(addr);
         }
@@ -204,7 +193,8 @@ impl HeapAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use veil_testkit::prop::{check, tuple2, u64s, u8s, vecs};
+    use veil_testkit::{prop_assert, prop_assert_eq};
 
     #[test]
     fn malloc_free_roundtrip() {
@@ -212,7 +202,7 @@ mod tests {
         let a = h.malloc(100).unwrap();
         let b = h.malloc(200).unwrap();
         assert_ne!(a, b);
-        assert!(a >= 0x1000 && a < 0x2000);
+        assert!((0x1000..0x2000).contains(&a));
         h.free(a).unwrap();
         h.free(b).unwrap();
         assert_eq!(h.used(), 0);
@@ -278,10 +268,11 @@ mod tests {
         assert_eq!(h.used(), 0);
     }
 
-    proptest! {
-        /// Random malloc/free interleavings keep every invariant.
-        #[test]
-        fn prop_invariants_hold(ops in proptest::collection::vec((0u8..3, 1u64..600), 1..120)) {
+    /// Random malloc/free interleavings keep every invariant.
+    #[test]
+    fn prop_invariants_hold() {
+        let ops = vecs(tuple2(u8s(0..3), u64s(1..600)), 1..120);
+        check("prop_invariants_hold", 64, &ops, |ops| {
             let mut h = HeapAllocator::new(0x4000, 16 * 1024);
             let mut live: Vec<u64> = Vec::new();
             for (op, size) in ops {
@@ -306,19 +297,22 @@ mod tests {
                         }
                     }
                 }
-                h.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+                h.check_invariants()?;
             }
             // Drain everything: arena must return to a single chunk.
             for p in live {
                 h.free(p).unwrap();
             }
-            h.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            h.check_invariants()?;
             prop_assert_eq!(h.used(), 0);
-        }
+            Ok(())
+        });
+    }
 
-        /// Allocations never overlap.
-        #[test]
-        fn prop_allocations_disjoint(sizes in proptest::collection::vec(1u64..256, 1..40)) {
+    /// Allocations never overlap.
+    #[test]
+    fn prop_allocations_disjoint() {
+        check("prop_allocations_disjoint", 64, &vecs(u64s(1..256), 1..40), |sizes| {
             let mut h = HeapAllocator::new(0, 64 * 1024);
             let mut regions: Vec<(u64, u64)> = Vec::new();
             for s in sizes {
@@ -329,6 +323,7 @@ mod tests {
                     regions.push((p, s));
                 }
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -83,10 +83,7 @@ pub fn install_enclave(
         let (kernel, mut ctx) = cvm.kctx();
         for (vaddr, flag_bits, contents) in &pages {
             let gfn = kernel.frames.alloc()?;
-            ctx.hv
-                .machine
-                .write(kernel.vmpl, gpa_of(gfn), contents)
-                .map_err(OsError::Snp)?;
+            ctx.hv.machine.write(kernel.vmpl, gpa_of(gfn), contents).map_err(OsError::Snp)?;
             let copy = ctx.hv.machine.cost().copy(PAGE_SIZE) + ctx.hv.machine.cost().page_touch;
             ctx.hv.machine.charge(CostCategory::KernelService, copy);
             kernel
@@ -98,8 +95,7 @@ pub fn install_enclave(
 
     // 3. Allocate and map the per-thread user GHCB (§6.2).
     let used = cvm.kernel.enclave_ghcbs_used;
-    let candidates =
-        cvm.gate.monitor.layout.enclave_ghcb_gfns(cvm.gate.monitor.vcpus, used + 1);
+    let candidates = cvm.gate.monitor.layout.enclave_ghcb_gfns(cvm.gate.monitor.vcpus, used + 1);
     let ghcb_gfn = *candidates
         .get(used as usize)
         .ok_or_else(|| OsError::Config("out of enclave GHCB frames".into()))?;
@@ -126,13 +122,7 @@ pub fn install_enclave(
         .aspace
         .expect("aspace created by shared-buffer mmap")
         .root_gfn();
-    let req = MonRequest::EncFinalize {
-        pid,
-        cr3_gfn,
-        base_vaddr: ENCLAVE_BASE,
-        len,
-        ghcb_gfn,
-    };
+    let req = MonRequest::EncFinalize { pid, cr3_gfn, base_vaddr: ENCLAVE_BASE, len, ghcb_gfn };
     let id = {
         let (_, ctx) = cvm.kctx();
         match ctx.gate.request(ctx.hv, ctx.vcpu, req)? {
@@ -140,15 +130,11 @@ pub fn install_enclave(
             other => return Err(OsError::MonitorRefused(format!("finalize: {other:?}"))),
         }
     };
-    cvm.kernel
-        .process_mut(pid)
-        .map_err(|e| OsError::Config(format!("{e}")))?
-        .enclave_id = Some(id);
+    cvm.kernel.process_mut(pid).map_err(|e| OsError::Config(format!("{e}")))?.enclave_id = Some(id);
     cvm.kernel.process_mut(pid).expect("exists").user_ghcb_gfn = Some(ghcb_gfn);
 
     let heap_pages = binary.heap_pages;
-    let heap_base = ENCLAVE_BASE
-        + ((binary.text_pages() + binary.data_pages()) * PAGE_SIZE) as u64;
+    let heap_base = ENCLAVE_BASE + ((binary.text_pages() + binary.data_pages()) * PAGE_SIZE) as u64;
     Ok(EnclaveHandle {
         id,
         pid,
@@ -187,8 +173,7 @@ pub fn add_enclave_thread(
 ) -> Result<EnclaveThread, OsError> {
     // Allocate + map another per-thread GHCB (kernel-module step).
     let used = cvm.kernel.enclave_ghcbs_used;
-    let candidates =
-        cvm.gate.monitor.layout.enclave_ghcb_gfns(cvm.gate.monitor.vcpus, used + 1);
+    let candidates = cvm.gate.monitor.layout.enclave_ghcb_gfns(cvm.gate.monitor.vcpus, used + 1);
     let ghcb_gfn = *candidates
         .get(used as usize)
         .ok_or_else(|| OsError::Config("out of enclave GHCB frames".into()))?;
@@ -232,8 +217,7 @@ pub fn remove_enclave(cvm: &mut Cvm, handle: &EnclaveHandle) -> Result<(), OsErr
         let _ = kernel.unmap_user_page(&mut ctx, handle.pid, vaddr);
         kernel.frames.free(*gfn);
     }
-    kernel.process_mut(handle.pid).map_err(|e| OsError::Config(format!("{e}")))?.enclave_id =
-        None;
+    kernel.process_mut(handle.pid).map_err(|e| OsError::Config(format!("{e}")))?.enclave_id = None;
     Ok(())
 }
 

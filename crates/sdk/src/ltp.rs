@@ -61,17 +61,23 @@ pub fn cases() -> Vec<LtpCase> {
     use Sysno::*;
     vec![
         ltp_case!("open_create_roundtrip", Open, |s| {
-            let fd = s.open("/tmp/ltp_open1", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_open1", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.close(fd).map_err(|e| e.to_string())
         }),
         ltp_case!("open_enoent", Open, |s| {
-            expect_err("open missing", s.open("/tmp/ltp_missing", OpenFlags::rdonly()), Errno::ENOENT)
+            expect_err(
+                "open missing",
+                s.open("/tmp/ltp_missing", OpenFlags::rdonly()),
+                Errno::ENOENT,
+            )
         }),
         ltp_case!("open_bad_path", Open, |s| {
             expect_err("relative path", s.open("not-absolute", OpenFlags::rdonly()), Errno::EINVAL)
         }),
         ltp_case!("open_truncates", Open, |s| {
-            let fd = s.open("/tmp/ltp_trunc", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_trunc", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"0123456789").map_err(|e| e.to_string())?;
             s.close(fd).ok();
             let fd = s
@@ -85,7 +91,8 @@ pub fn cases() -> Vec<LtpCase> {
             expect_err("close bad fd", s.close(9999), Errno::EBADF)
         }),
         ltp_case!("close_double", Close, |s| {
-            let fd = s.open("/tmp/ltp_close2", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_close2", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.close(fd).map_err(|e| e.to_string())?;
             expect_err("double close", s.close(fd), Errno::EBADF)
         }),
@@ -121,7 +128,8 @@ pub fn cases() -> Vec<LtpCase> {
             r
         }),
         ltp_case!("pread_does_not_move_offset", Pread64, |s| {
-            let fd = s.open("/tmp/ltp_pread", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_pread", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"abcdef").map_err(|e| e.to_string())?;
             let mut buf = [0u8; 2];
             expect("pread", s.pread(fd, &mut buf, 2), 2)?;
@@ -134,7 +142,8 @@ pub fn cases() -> Vec<LtpCase> {
             r
         }),
         ltp_case!("pwrite_at_offset", Pwrite64, |s| {
-            let fd = s.open("/tmp/ltp_pwrite", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_pwrite", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"xxxxxx").map_err(|e| e.to_string())?;
             s.pwrite(fd, b"ZZ", 2).map_err(|e| e.to_string())?;
             let mut buf = [0u8; 6];
@@ -146,7 +155,8 @@ pub fn cases() -> Vec<LtpCase> {
             Ok(())
         }),
         ltp_case!("lseek_set_cur_end", Lseek, |s| {
-            let fd = s.open("/tmp/ltp_seek", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_seek", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"0123456789").map_err(|e| e.to_string())?;
             expect("SEEK_SET", s.lseek(fd, 3, Whence::Set), 3)?;
             expect("SEEK_CUR", s.lseek(fd, 2, Whence::Cur), 5)?;
@@ -163,7 +173,8 @@ pub fn cases() -> Vec<LtpCase> {
             r
         }),
         ltp_case!("stat_size_and_mode", Stat, |s| {
-            let fd = s.open("/tmp/ltp_stat", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_stat", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"12345").map_err(|e| e.to_string())?;
             s.close(fd).ok();
             let st = s.stat("/tmp/ltp_stat").map_err(|e| e.to_string())?;
@@ -188,7 +199,8 @@ pub fn cases() -> Vec<LtpCase> {
         }),
         ltp_case!("rmdir_enotempty", Rmdir, |s| {
             s.mkdir("/tmp/ltp_dir2").map_err(|e| e.to_string())?;
-            let fd = s.open("/tmp/ltp_dir2/f", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_dir2/f", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.close(fd).ok();
             expect_err("rmdir non-empty", s.rmdir("/tmp/ltp_dir2"), Errno::ENOTEMPTY)?;
             s.unlink("/tmp/ltp_dir2/f").map_err(|e| e.to_string())?;
@@ -204,7 +216,8 @@ pub fn cases() -> Vec<LtpCase> {
             r
         }),
         ltp_case!("rename_moves_content", Rename, |s| {
-            let fd = s.open("/tmp/ltp_ren_a", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_ren_a", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"payload").map_err(|e| e.to_string())?;
             s.close(fd).ok();
             s.rename("/tmp/ltp_ren_a", "/tmp/ltp_ren_b").map_err(|e| e.to_string())?;
@@ -213,7 +226,8 @@ pub fn cases() -> Vec<LtpCase> {
             expect("size preserved", Ok::<u64, Errno>(st.size), 7)
         }),
         ltp_case!("link_shares_inode", Link, |s| {
-            let fd = s.open("/tmp/ltp_link_a", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_link_a", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"shared").map_err(|e| e.to_string())?;
             s.close(fd).ok();
             s.link("/tmp/ltp_link_a", "/tmp/ltp_link_b").map_err(|e| e.to_string())?;
@@ -224,7 +238,8 @@ pub fn cases() -> Vec<LtpCase> {
             Ok(())
         }),
         ltp_case!("symlink_resolves", Symlink, |s| {
-            let fd = s.open("/tmp/ltp_sym_t", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_sym_t", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"target!").map_err(|e| e.to_string())?;
             s.close(fd).ok();
             s.symlink("/tmp/ltp_sym_t", "/tmp/ltp_sym_l").map_err(|e| e.to_string())?;
@@ -242,13 +257,15 @@ pub fn cases() -> Vec<LtpCase> {
             r
         }),
         ltp_case!("chmod_roundtrip", Chmod, |s| {
-            let fd = s.open("/tmp/ltp_chmod", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_chmod", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.close(fd).ok();
             s.chmod("/tmp/ltp_chmod", 0o600).map_err(|e| e.to_string())?;
             expect("mode", s.stat("/tmp/ltp_chmod").map(|st| st.mode), 0o600)
         }),
         ltp_case!("fchmod_roundtrip", Fchmod, |s| {
-            let fd = s.open("/tmp/ltp_fchmod", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_fchmod", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.fchmod(fd, 0o444).map_err(|e| e.to_string())?;
             let r = expect("mode", s.fstat(fd).map(|st| st.mode), 0o444);
             s.close(fd).ok();
@@ -256,7 +273,8 @@ pub fn cases() -> Vec<LtpCase> {
         }),
         ltp_case!("getdents_lists", Getdents, |s| {
             s.mkdir("/tmp/ltp_dents").map_err(|e| e.to_string())?;
-            let fd = s.open("/tmp/ltp_dents/x", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_dents/x", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.close(fd).ok();
             let dfd = s.open("/tmp/ltp_dents", OpenFlags::rdonly()).map_err(|e| e.to_string())?;
             let names = s.getdents(dfd).map_err(|e| e.to_string())?;
@@ -279,7 +297,8 @@ pub fn cases() -> Vec<LtpCase> {
             r
         }),
         ltp_case!("dup2_targets_specific_fd", Dup2, |s| {
-            let fd = s.open("/tmp/ltp_dup2", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_dup2", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             let d = s.dup2(fd, 100).map_err(|e| e.to_string())?;
             let r = expect("dup2 fd", Ok::<i32, Errno>(d), 100);
             s.close(fd).ok();
@@ -356,7 +375,8 @@ pub fn cases() -> Vec<LtpCase> {
             r
         }),
         ltp_case!("sendfile_to_socket", Sysno::Sendfile, |s| {
-            let fd = s.open("/tmp/ltp_sendfile", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_sendfile", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.write(fd, b"0123456789").map_err(|e| e.to_string())?;
             s.lseek(fd, 0, Whence::Set).map_err(|e| e.to_string())?;
             let (a, b) = s.socketpair().map_err(|e| e.to_string())?;
@@ -390,9 +410,7 @@ pub fn cases() -> Vec<LtpCase> {
             }
             Ok(())
         }),
-        ltp_case!("print_to_console", Write, |s| {
-            expect("print", s.print("Hello World!"), 12)
-        }),
+        ltp_case!("print_to_console", Write, |s| { expect("print", s.print("Hello World!"), 12) }),
         // ---- cases for unsupported syscalls run LAST: on the enclave
         // path they kill the enclave (§7: "our SDK is designed to kill
         // the enclave and exit on their execution").
@@ -410,7 +428,8 @@ pub fn cases() -> Vec<LtpCase> {
             Ok(())
         }),
         ltp_case!("after_kill_open", Open, |s| {
-            let fd = s.open("/tmp/ltp_post", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
+            let fd =
+                s.open("/tmp/ltp_post", OpenFlags::rdwr_create()).map_err(|e| e.to_string())?;
             s.close(fd).map_err(|e| e.to_string())
         }),
         ltp_case!("after_kill_socket", Socket, |s| {

@@ -179,13 +179,7 @@ impl<'a> EnclaveSys<'a> {
     }
 
     fn enclave_aspace(&self) -> AddressSpace {
-        self.cvm
-            .gate
-            .services
-            .enc
-            .enclave(self.rt.handle.id)
-            .expect("live enclave")
-            .aspace
+        self.cvm.gate.services.enc.enclave(self.rt.handle.id).expect("live enclave").aspace
     }
 
     /// Charges and performs a copy from enclave-visible memory into the
@@ -230,10 +224,7 @@ impl<'a> EnclaveSys<'a> {
 
     /// The untrusted application stub: reads staged bytes and runs the
     /// real syscall via the kernel. Returns the closure's result.
-    fn untrusted<R>(
-        &mut self,
-        f: impl FnOnce(&mut KernelSys<'_>) -> R,
-    ) -> R {
+    fn untrusted<R>(&mut self, f: impl FnOnce(&mut KernelSys<'_>) -> R) -> R {
         let pid = self.rt.handle.pid;
         let vcpu = self.rt.vcpu;
         let mut ks = KernelSys {
@@ -250,12 +241,7 @@ impl<'a> EnclaveSys<'a> {
     /// the shared buffer, through the OS page tables).
     fn untrusted_read(&mut self, staged: u64, len: usize) -> Result<Vec<u8>, Errno> {
         let pid = self.rt.handle.pid;
-        let aspace = self
-            .cvm
-            .kernel
-            .process(pid)?
-            .aspace
-            .ok_or(Errno::EFAULT)?;
+        let aspace = self.cvm.kernel.process(pid)?.aspace.ok_or(Errno::EFAULT)?;
         let data = aspace
             .read_virt(&self.cvm.hv.machine, staged, len, self.cvm.kernel.vmpl, Cpl::Cpl3)
             .map_err(|_| Errno::EFAULT)?;
@@ -267,12 +253,7 @@ impl<'a> EnclaveSys<'a> {
     /// Writes result bytes from the untrusted side into the shared buffer.
     fn untrusted_write(&mut self, staged: u64, bytes: &[u8]) -> Result<(), Errno> {
         let pid = self.rt.handle.pid;
-        let aspace = self
-            .cvm
-            .kernel
-            .process(pid)?
-            .aspace
-            .ok_or(Errno::EFAULT)?;
+        let aspace = self.cvm.kernel.process(pid)?.aspace.ok_or(Errno::EFAULT)?;
         aspace
             .write_virt(&mut self.cvm.hv.machine, staged, bytes, self.cvm.kernel.vmpl, Cpl::Cpl3)
             .map_err(|_| Errno::EFAULT)?;

@@ -67,10 +67,10 @@ pub struct CallSpec {
 /// Maximum string length the sanitizer will copy (paths).
 pub const STR_MAX: usize = 4096;
 
-use ArgSpec::{InBuf, InStr, OutBuf, OutStruct};
 use ArgSpec::Scalar;
-use RetSpec::{Fd, UntrustedPointer};
+use ArgSpec::{InBuf, InStr, OutBuf, OutStruct};
 use RetSpec::Scalar as RetScalar;
+use RetSpec::{Fd, UntrustedPointer};
 
 /// The supported-call table (the paper's SDK supports 96 calls; ours
 /// covers the simulated kernel's full surface).
@@ -104,7 +104,11 @@ pub static CALL_SPECS: &[CallSpec] = &[
     CallSpec { sysno: Sysno::Socket, args: &[Scalar, Scalar], ret: Fd },
     CallSpec { sysno: Sysno::Connect, args: &[Scalar, Scalar], ret: RetScalar },
     CallSpec { sysno: Sysno::Accept, args: &[Scalar], ret: Fd },
-    CallSpec { sysno: Sysno::Sendto, args: &[Scalar, InBuf { len_arg: 2 }, Scalar], ret: RetScalar },
+    CallSpec {
+        sysno: Sysno::Sendto,
+        args: &[Scalar, InBuf { len_arg: 2 }, Scalar],
+        ret: RetScalar,
+    },
     CallSpec {
         sysno: Sysno::Recvfrom,
         args: &[Scalar, OutBuf { len_arg: 2 }, Scalar],
@@ -122,8 +126,16 @@ pub static CALL_SPECS: &[CallSpec] = &[
     CallSpec { sysno: Sysno::Chmod, args: &[InStr, Scalar], ret: RetScalar },
     CallSpec { sysno: Sysno::Fchmod, args: &[Scalar, Scalar], ret: RetScalar },
     CallSpec { sysno: Sysno::Ftruncate, args: &[Scalar, Scalar], ret: RetScalar },
-    CallSpec { sysno: Sysno::Getdents, args: &[Scalar, OutBuf { len_arg: 2 }, Scalar], ret: RetScalar },
-    CallSpec { sysno: Sysno::ClockGettime, args: &[Scalar, OutStruct { size: 16 }], ret: RetScalar },
+    CallSpec {
+        sysno: Sysno::Getdents,
+        args: &[Scalar, OutBuf { len_arg: 2 }, Scalar],
+        ret: RetScalar,
+    },
+    CallSpec {
+        sysno: Sysno::ClockGettime,
+        args: &[Scalar, OutStruct { size: 16 }],
+        ret: RetScalar,
+    },
 ];
 
 /// Looks up the specification for a syscall; `None` means unsupported —

@@ -1,14 +1,14 @@
 //! End-to-end SDK tests: install → run shielded syscalls → page → destroy.
 
-use veil_sdk::{install_enclave, remove_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
-use veil_sdk::install::{swap_in_page, swap_out_page};
-use veil_services::CvmBuilder;
 use veil_os::error::Errno;
 use veil_os::sys::{OpenFlags, Sys, Whence};
+use veil_sdk::install::{swap_in_page, swap_out_page};
+use veil_sdk::{install_enclave, remove_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
+use veil_services::CvmBuilder;
 use veil_snp::cost::CostCategory;
 use veil_snp::mem::{gpa_of, PAGE_SIZE};
-use veil_snp::perms::{Cpl, Vmpl};
 use veil_snp::perms::Access;
+use veil_snp::perms::{Cpl, Vmpl};
 
 fn cvm() -> veil_services::Cvm {
     CvmBuilder::new().frames(4096).vcpus(1).build().expect("boot")
@@ -115,7 +115,6 @@ fn unsupported_syscall_kills_enclave() {
     assert_eq!(sys.ioctl(1, 0x5401), Err(Errno::ENOSYS));
     // Killed: every further call refuses.
     assert_eq!(sys.getpid(), Err(Errno::EKEYREJECTED));
-    drop(sys);
     assert!(rt.stats.killed);
 }
 
@@ -132,7 +131,6 @@ fn iago_mmap_into_enclave_rejected() {
     assert!(addr != 0);
     // Simulate the check against a malicious value directly.
     assert!(!(base..base + 1).contains(&addr));
-    drop(sys);
     assert_eq!(rt.stats.iago_blocks, 0);
 }
 
@@ -143,7 +141,7 @@ fn sealed_paging_roundtrip() {
     let binary = EnclaveBinary::build("pager", 4096, 4096).with_heap_pages(4);
     let mut handle = install_enclave(&mut cvm, pid, &binary).unwrap();
     let victim_vaddr = handle.heap_base; // first heap page
-    // Write a recognizable value through the enclave first.
+                                         // Write a recognizable value through the enclave first.
     {
         let mut rt = EnclaveRuntime::new(handle.clone());
         let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
@@ -230,12 +228,7 @@ fn destroy_scrubs_and_returns_memory() {
     remove_enclave(&mut cvm, &handle).expect("destroy");
     assert_eq!(cvm.gate.services.enc.count(), 0);
     // Frame is back, OS-accessible, and scrubbed.
-    assert!(cvm
-        .hv
-        .machine
-        .rmp()
-        .check(secret_frame, Vmpl::Vmpl3, Access::Read)
-        .is_ok());
+    assert!(cvm.hv.machine.rmp().check(secret_frame, Vmpl::Vmpl3, Access::Read).is_ok());
     let contents = cvm.hv.machine.read(Vmpl::Vmpl3, gpa_of(secret_frame), PAGE_SIZE).unwrap();
     assert!(contents.iter().all(|b| *b == 0), "enclave contents must be scrubbed");
     // Frames returned to the pool (minus page-table frames kept by procs).
@@ -275,8 +268,8 @@ fn enclave_mmap_reaches_shared_memory() {
         .write_virt(&mut sys.cvm.hv.machine, addr, b"shared via sync", Vmpl::Vmpl2, Cpl::Cpl3)
         .expect("enclave reaches mmapped shared buffer");
     sys.munmap(addr, 2 * PAGE_SIZE).unwrap();
-    assert!(aspace
-        .read_virt(&sys.cvm.hv.machine, addr, 4, Vmpl::Vmpl2, Cpl::Cpl3)
-        .is_err(), "unmap synced into the clone");
-    drop(sys);
+    assert!(
+        aspace.read_virt(&sys.cvm.hv.machine, addr, 4, Vmpl::Vmpl2, Cpl::Cpl3).is_err(),
+        "unmap synced into the clone"
+    );
 }

@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use veil_core::domain::Domain;
 use veil_core::monitor::Monitor;
 use veil_core::remote::SecureChannel;
+use veil_crypto::{ChaCha20, HmacSha256, Sha256};
 use veil_hv::{HvResponse, Hypervisor};
 use veil_os::error::OsError;
 use veil_snp::cost::CostCategory;
@@ -27,7 +28,6 @@ use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::mem::{gpa_of, PAGE_SIZE};
 use veil_snp::perms::{Vmpl, VmplPerms};
 use veil_snp::pt::{AddressSpace, PteFlags};
-use veil_crypto::{ChaCha20, HmacSha256, Sha256};
 
 /// A sealed (swapped-out) page's trusted metadata.
 #[derive(Debug, Clone)]
@@ -206,8 +206,8 @@ impl VeilSEnc {
         for _ in 0..needed {
             free.push(monitor.alloc_mon()?);
         }
-        let clone = AddressSpace::new(&mut hv.machine, Vmpl::Vmpl0, &mut free)
-            .map_err(|e| OsError::Pt(e))?;
+        let clone =
+            AddressSpace::new(&mut hv.machine, Vmpl::Vmpl0, &mut free).map_err(OsError::Pt)?;
         for (vaddr, pfn, flags) in &mappings {
             clone
                 .map(&mut hv.machine, Vmpl::Vmpl0, &mut free, *vaddr, *pfn, *flags)
@@ -364,8 +364,11 @@ impl VeilSEnc {
             .ok_or_else(|| OsError::MonitorRefused("no sealed page at this address".into()))?
             .clone();
         let mut page = hv.machine.read(Vmpl::Vmpl1, gpa_of(staging_gfn), PAGE_SIZE)?;
-        ChaCha20::new(&enclave.seal_key)
-            .apply_keystream(&Self::nonce(vaddr, meta.ctr), 1, &mut page);
+        ChaCha20::new(&enclave.seal_key).apply_keystream(
+            &Self::nonce(vaddr, meta.ctr),
+            1,
+            &mut page,
+        );
         let mut mac = HmacSha256::new(&enclave.seal_key);
         mac.update(&vaddr.to_le_bytes());
         mac.update(&meta.ctr.to_le_bytes());
@@ -387,8 +390,14 @@ impl VeilSEnc {
         hv.machine.rmpadjust(Vmpl::Vmpl0, dest_gfn, Vmpl::Vmpl3, VmplPerms::empty())?;
         hv.machine.write(Vmpl::Vmpl1, gpa_of(dest_gfn), &page)?;
         let mut free: Vec<u64> = Vec::new();
-        match enclave.aspace.map(&mut hv.machine, Vmpl::Vmpl0, &mut free, vaddr, dest_gfn, meta.flags)
-        {
+        match enclave.aspace.map(
+            &mut hv.machine,
+            Vmpl::Vmpl0,
+            &mut free,
+            vaddr,
+            dest_gfn,
+            meta.flags,
+        ) {
             Ok(()) => {}
             Err(veil_snp::pt::PtError::NoFrames) => {
                 // Table level missing: pull monitor frames and retry.
@@ -502,14 +511,11 @@ impl VeilSEnc {
         for i in 0..pages {
             let vaddr = base_vaddr + i * PAGE_SIZE as u64;
             if enclave.contains(vaddr) {
-                return Err(OsError::MonitorRefused(
-                    "OS may not remap the enclave region".into(),
-                ));
+                return Err(OsError::MonitorRefused("OS may not remap the enclave region".into()));
             }
             if map {
                 let os_aspace = AddressSpace::from_root(enclave.os_cr3_gfn);
-                let (pfn, flags) =
-                    os_aspace.translate(&hv.machine, vaddr).map_err(OsError::Pt)?;
+                let (pfn, flags) = os_aspace.translate(&hv.machine, vaddr).map_err(OsError::Pt)?;
                 monitor.sanitize_gfns(&hv.machine, &[pfn])?;
                 let mut free: Vec<u64> = Vec::new();
                 match enclave.aspace.map(&mut hv.machine, Vmpl::Vmpl0, &mut free, vaddr, pfn, flags)
@@ -621,7 +627,14 @@ impl VeilSEnc {
                         free.push(monitor.alloc_mon()?);
                     }
                     peer.aspace
-                        .map(&mut hv.machine, Vmpl::Vmpl0, &mut free, *va, *pfn, PteFlags::user_data())
+                        .map(
+                            &mut hv.machine,
+                            Vmpl::Vmpl0,
+                            &mut free,
+                            *va,
+                            *pfn,
+                            PteFlags::user_data(),
+                        )
                         .map_err(OsError::Pt)?;
                     for gfn in free {
                         monitor.free_mon(gfn);
@@ -669,11 +682,7 @@ impl VeilSEnc {
 
     /// Seals the enclave measurement for the remote user over the secure
     /// channel (enclave attestation, §6.2).
-    pub fn report_measurement(
-        &self,
-        id: u64,
-        channel: &mut SecureChannel,
-    ) -> Option<Vec<u8>> {
+    pub fn report_measurement(&self, id: u64, channel: &mut SecureChannel) -> Option<Vec<u8>> {
         let e = self.enclaves.get(&id)?;
         let mut msg = Vec::with_capacity(40);
         msg.extend_from_slice(&id.to_le_bytes());
@@ -780,7 +789,8 @@ mod tests {
         assert!(enc.perm_sync(&mut cvm.hv, 42, 0x1000, 0x7).is_err());
         assert!(enc.destroy(&mut cvm.gate.monitor, &mut cvm.hv, 42).is_err());
         assert!(enc.enter(&mut cvm.hv, 42).is_err());
-        assert!(enc.report_measurement(42, &mut veil_core::remote::SecureChannel::new([1; 32]))
+        assert!(enc
+            .report_measurement(42, &mut veil_core::remote::SecureChannel::new([1; 32]))
             .is_none());
         assert!(enc.offer_share(42, 43, 0x5000_0000, 1).is_err());
     }

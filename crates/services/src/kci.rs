@@ -54,9 +54,8 @@ impl VeilSKci {
         self.vendor_key = handoff.vendor_key;
         // The same exported symbols the kernel publishes; kept privately
         // so a compromised kernel cannot redirect relocations.
-        for (i, sym) in ["printk", "kmalloc", "kfree", "register_chrdev", "audit_log_end"]
-            .iter()
-            .enumerate()
+        for (i, sym) in
+            ["printk", "kmalloc", "kfree", "register_chrdev", "audit_log_end"].iter().enumerate()
         {
             self.symbols.insert((*sym).to_string(), 0xffff_8000_0000 + (i as u64) * 0x40);
         }
@@ -159,9 +158,9 @@ impl VeilSKci {
         hv: &mut Hypervisor,
         text_gfns: &[u64],
     ) -> Result<(), OsError> {
-        let key = *text_gfns.first().ok_or_else(|| {
-            OsError::MonitorRefused("empty unload request".into())
-        })?;
+        let key = *text_gfns
+            .first()
+            .ok_or_else(|| OsError::MonitorRefused("empty unload request".into()))?;
         match self.installed.get(&key) {
             Some(known) if known == text_gfns => {}
             _ => {
@@ -253,7 +252,7 @@ mod tests {
         // The OS tries to strip W^X from a page KCI never protected.
         let victim = cvm.gate.monitor.layout.kernel_pool.start + 5;
         let req = veil_os::monitor::MonRequest::KciModuleUnload { text_gfns: vec![victim] };
-        let (_, mut ctx) = cvm.kctx();
+        let (_, ctx) = cvm.kctx();
         let err = ctx.gate.request(ctx.hv, 0, req);
         assert!(err.is_err());
     }

@@ -96,7 +96,14 @@ impl ServiceDispatch for VeilServices {
             }
             MonRequest::EncFinalize { pid, cr3_gfn, base_vaddr, len, ghcb_gfn } => {
                 let id = self.enc.finalize(
-                    monitor, hv, vcpu, *pid, *cr3_gfn, *base_vaddr, *len, *ghcb_gfn,
+                    monitor,
+                    hv,
+                    vcpu,
+                    *pid,
+                    *cr3_gfn,
+                    *base_vaddr,
+                    *len,
+                    *ghcb_gfn,
                 )?;
                 Ok(MonResponse::Value(id))
             }
@@ -192,10 +199,10 @@ impl CvmBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use veil_core::cvm::VENDOR_KEY;
     use veil_os::audit::AuditMode;
     use veil_os::module::ModuleImage;
     use veil_os::sys::{OpenFlags, Sys};
-    use veil_core::cvm::VENDOR_KEY;
     use veil_snp::perms::Vmpl;
 
     #[test]

@@ -7,6 +7,7 @@
 //! compromise. Only the remote user — over the attested secure channel —
 //! can retrieve and prune the log.
 
+use std::ops::Range;
 use veil_core::monitor::Monitor;
 use veil_core::remote::SecureChannel;
 use veil_hv::Hypervisor;
@@ -15,7 +16,6 @@ use veil_os::error::OsError;
 use veil_snp::cost::CostCategory;
 use veil_snp::mem::{gpa_of, PAGE_SIZE};
 use veil_snp::perms::Vmpl;
-use std::ops::Range;
 
 /// Each stored record is `len(4 bytes) || payload`.
 const LEN_PREFIX: usize = 4;
@@ -120,11 +120,7 @@ impl VeilSLog {
 
     /// Parses stored records into [`AuditRecord`]s (diagnostics).
     pub fn parsed_records(&self, hv: &Hypervisor) -> Result<Vec<AuditRecord>, OsError> {
-        Ok(self
-            .read_all(hv)?
-            .iter()
-            .filter_map(|bytes| AuditRecord::from_bytes(bytes))
-            .collect())
+        Ok(self.read_all(hv)?.iter().filter_map(|bytes| AuditRecord::from_bytes(bytes)).collect())
     }
 
     /// Remote retrieval (§6.3): the user sends a sealed `"retrieve"`
@@ -183,11 +179,8 @@ mod tests {
         let log = &mut cvm.gate.services.log;
         let big = vec![0xabu8; 4000];
         let mut stored = 0;
-        loop {
-            match log.append(&mut cvm.hv, &big) {
-                Ok(()) => stored += 1,
-                Err(_) => break,
-            }
+        while log.append(&mut cvm.hv, &big).is_ok() {
+            stored += 1;
         }
         assert_eq!(stored, 2, "two 4 KB records fit in 2 frames");
         assert_eq!(log.dropped, 1);
@@ -214,12 +207,8 @@ mod tests {
 
         // The genuine user command round-trips.
         let cmd = user.seal(b"retrieve-and-prune");
-        let sealed = cvm
-            .gate
-            .services
-            .log
-            .retrieve_for_user(&mut cvm.hv, &mut service, &cmd)
-            .unwrap();
+        let sealed =
+            cvm.gate.services.log.retrieve_for_user(&mut cvm.hv, &mut service, &cmd).unwrap();
         assert_eq!(sealed.len(), 1);
         assert_eq!(user.open(&sealed[0]).unwrap(), b"evidence");
         assert_eq!(cvm.gate.services.log.record_count(), 0, "pruned after retrieval");

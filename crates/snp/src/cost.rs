@@ -192,8 +192,8 @@ impl CycleAccount {
     /// which cannot happen through the public API).
     pub fn since(&self, snap: &CycleSnapshot) -> CycleDelta {
         let mut by_category = [0u64; CostCategory::ALL.len()];
-        for i in 0..by_category.len() {
-            by_category[i] = self.by_category[i] - snap.by_category[i];
+        for (i, out) in by_category.iter_mut().enumerate() {
+            *out = self.by_category[i] - snap.by_category[i];
         }
         CycleDelta { total: self.total - snap.total, by_category }
     }

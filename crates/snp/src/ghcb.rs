@@ -203,12 +203,8 @@ mod tests {
     fn request_response_roundtrip() {
         let mut m = machine();
         let ghcb = Ghcb::at(&m, 3).unwrap();
-        ghcb.write_request(&mut m, Vmpl::Vmpl3, GhcbExit::DomainSwitch, 0, 7)
-            .unwrap();
-        assert_eq!(
-            ghcb.read_request(&m),
-            Some((GhcbExit::DomainSwitch, 0, 7))
-        );
+        ghcb.write_request(&mut m, Vmpl::Vmpl3, GhcbExit::DomainSwitch, 0, 7).unwrap();
+        assert_eq!(ghcb.read_request(&m), Some((GhcbExit::DomainSwitch, 0, 7)));
         ghcb.write_response(&mut m, 0x55);
         assert_eq!(ghcb.read_response(&m, Vmpl::Vmpl3).unwrap(), 0x55);
     }
@@ -227,9 +223,6 @@ mod tests {
         let mut m = machine();
         let ghcb = Ghcb::at(&m, 2).unwrap();
         ghcb.write_payload(&mut m, Vmpl::Vmpl2, b"syscall args").unwrap();
-        assert_eq!(
-            ghcb.read_payload(&m, Vmpl::Vmpl3, 12).unwrap(),
-            b"syscall args"
-        );
+        assert_eq!(ghcb.read_payload(&m, Vmpl::Vmpl3, 12).unwrap(), b"syscall args");
     }
 }

@@ -57,8 +57,7 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine with all pages hypervisor-shared (pre-launch).
     pub fn new(config: MachineConfig) -> Self {
-        let device_key =
-            veil_crypto::HmacSha256::mac(&config.device_key_seed, b"veil-device-key");
+        let device_key = veil_crypto::HmacSha256::mac(&config.device_key_seed, b"veil-device-key");
         Machine {
             mem: GuestMemory::new(config.frames),
             rmp: Rmp::new(config.frames),
@@ -128,12 +127,23 @@ impl Machine {
 
     // ---- checked guest accessors ---------------------------------------
 
-    fn check_range(&self, vmpl: Vmpl, gpa: u64, len: usize, access: Access) -> Result<(), NestedPageFault> {
+    fn check_range(
+        &self,
+        vmpl: Vmpl,
+        gpa: u64,
+        len: usize,
+        access: Access,
+    ) -> Result<(), NestedPageFault> {
         if len == 0 {
             return Ok(());
         }
         if !self.mem.in_range(gpa, len) {
-            return Err(NestedPageFault { gfn: gfn_of(gpa), vmpl, access, cause: NpfCause::OutOfRange });
+            return Err(NestedPageFault {
+                gfn: gfn_of(gpa),
+                vmpl,
+                access,
+                cause: NpfCause::OutOfRange,
+            });
         }
         let first = gfn_of(gpa);
         let last = gfn_of(gpa + len as u64 - 1);
@@ -266,7 +276,12 @@ impl Machine {
     ///
     /// * [`SnpError::InsufficientVmpl`] from any other VMPL;
     /// * [`SnpError::ValidationMismatch`] on double (in)validation.
-    pub fn pvalidate(&mut self, executing: Vmpl, gfn: u64, validated: bool) -> Result<(), SnpError> {
+    pub fn pvalidate(
+        &mut self,
+        executing: Vmpl,
+        gfn: u64,
+        validated: bool,
+    ) -> Result<(), SnpError> {
         self.ensure_running()?;
         if executing != Vmpl::Vmpl0 {
             return Err(SnpError::InsufficientVmpl { executing, target: Vmpl::Vmpl0 });

@@ -48,10 +48,7 @@ impl GuestMemory {
 
     /// Whether the byte range `[gpa, gpa+len)` is inside memory.
     pub fn in_range(&self, gpa: u64, len: usize) -> bool {
-        (gpa as usize)
-            .checked_add(len)
-            .map(|end| end <= self.bytes.len())
-            .unwrap_or(false)
+        (gpa as usize).checked_add(len).map(|end| end <= self.bytes.len()).unwrap_or(false)
     }
 
     /// Raw read; panics on out-of-range (callers bound-check first).

@@ -241,8 +241,7 @@ impl AddressSpace {
                 let new_gfn = free.pop().ok_or(PtError::NoFrames)?;
                 machine.write(vmpl, gpa_of(new_gfn), &[0u8; PAGE_SIZE])?;
                 // Interior entries carry permissive flags; leaves decide.
-                let interior =
-                    (PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER).bits();
+                let interior = (PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER).bits();
                 machine.write_u64(vmpl, slot, gpa_of(new_gfn) & ADDR_MASK | interior)?;
                 table_gfn = new_gfn;
             } else {
@@ -557,10 +556,7 @@ mod tests {
             m.rmpadjust(Vmpl::Vmpl0, gfn, Vmpl::Vmpl2, VmplPerms::empty()).unwrap();
         }
         // OS edits now fault; the hardware still translates.
-        assert!(matches!(
-            aspace.unmap(&mut m, Vmpl::Vmpl3, 0x5000),
-            Err(PtError::Snp(_))
-        ));
+        assert!(matches!(aspace.unmap(&mut m, Vmpl::Vmpl3, 0x5000), Err(PtError::Snp(_))));
         assert!(aspace.translate(&m, 0x5000).is_ok());
     }
 
@@ -587,20 +583,14 @@ mod tests {
         let pfn = free.pop().unwrap();
         aspace.map(&mut m, Vmpl::Vmpl3, &mut free, 0x9000, pfn, PteFlags::user_data()).unwrap();
         assert_eq!(aspace.unmap(&mut m, Vmpl::Vmpl3, 0x9000).unwrap(), pfn);
-        assert!(matches!(
-            aspace.translate(&m, 0x9000),
-            Err(PtError::NotMapped { .. })
-        ));
+        assert!(matches!(aspace.translate(&m, 0x9000), Err(PtError::NotMapped { .. })));
     }
 
     #[test]
     fn bad_vaddr_rejected() {
         let (mut m, mut free) = setup(64);
         let aspace = AddressSpace::new(&mut m, Vmpl::Vmpl3, &mut free).unwrap();
-        assert!(matches!(
-            aspace.translate(&m, 1u64 << 50),
-            Err(PtError::BadAddress { .. })
-        ));
+        assert!(matches!(aspace.translate(&m, 1u64 << 50), Err(PtError::BadAddress { .. })));
         let pfn = free.pop().unwrap();
         assert!(matches!(
             aspace.map(&mut m, Vmpl::Vmpl3, &mut free, 1u64 << 55, pfn, PteFlags::user_data()),

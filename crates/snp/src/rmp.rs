@@ -97,12 +97,8 @@ impl Rmp {
                 // Fresh private pages belong to VMPL-0 alone; lower VMPLs
                 // get nothing until an explicit RMPADJUST grants it. This
                 // is why Veil's boot must touch every page (§9.1).
-                e.perms = [
-                    VmplPerms::all(),
-                    VmplPerms::empty(),
-                    VmplPerms::empty(),
-                    VmplPerms::empty(),
-                ];
+                e.perms =
+                    [VmplPerms::all(), VmplPerms::empty(), VmplPerms::empty(), VmplPerms::empty()];
                 e.vmsa = false;
                 true
             }

@@ -1,0 +1,211 @@
+//! Criterion-free micro-bench runner over the deterministic cycle model.
+//!
+//! Samples are *simulated cycles* (from `veil-snp::cost`'s calibrated
+//! constants), not wall-clock time, so every run of a bench produces the
+//! same numbers on any machine — the property the paper tables rely on.
+//! Each measured closure returns the cycle count of one iteration; the
+//! runner performs `warmup` unrecorded iterations, records `iters`
+//! samples, and reports mean/p50/p99/min/max.
+//!
+//! Output is a fixed-width table on stdout; setting `VEIL_BENCH_JSON=1`
+//! additionally emits one JSON document per group for machine
+//! consumption (paper-table regeneration, CI trend lines).
+
+use crate::fmt::{cycles, json_array, json_f64, json_field, json_object, json_str_field, row};
+
+/// Environment variable enabling JSON output after each group's table.
+pub const JSON_ENV: &str = "VEIL_BENCH_JSON";
+
+/// Summary statistics for one benchmark label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Group this label belongs to.
+    pub group: String,
+    /// Benchmark label.
+    pub label: String,
+    /// Unrecorded warmup iterations performed.
+    pub warmup: u32,
+    /// Recorded iterations.
+    pub iters: u32,
+    /// Mean cycles per iteration.
+    pub mean: f64,
+    /// Median cycles per iteration.
+    pub p50: u64,
+    /// 99th-percentile cycles per iteration.
+    pub p99: u64,
+    /// Fastest iteration.
+    pub min: u64,
+    /// Slowest iteration.
+    pub max: u64,
+}
+
+impl BenchResult {
+    /// Renders this result as a JSON object.
+    pub fn json(&self) -> String {
+        json_object(&[
+            json_str_field("group", &self.group),
+            json_str_field("label", &self.label),
+            json_field("warmup", self.warmup),
+            json_field("iters", self.iters),
+            json_field("mean", json_f64(self.mean)),
+            json_field("p50", self.p50),
+            json_field("p99", self.p99),
+            json_field("min", self.min),
+            json_field("max", self.max),
+        ])
+    }
+}
+
+/// A named collection of benchmarks sharing warmup/iteration counts.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    warmup: u32,
+    iters: u32,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    /// A group with the default 3 warmup and 20 recorded iterations.
+    pub fn new(name: &str) -> Self {
+        BenchGroup { name: name.to_string(), warmup: 3, iters: 20, results: Vec::new() }
+    }
+
+    /// Sets the number of unrecorded warmup iterations.
+    pub fn warmup(mut self, warmup: u32) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the number of recorded iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters` is zero.
+    pub fn iters(mut self, iters: u32) -> Self {
+        assert!(iters > 0, "iters must be positive");
+        self.iters = iters;
+        self
+    }
+
+    /// Runs one benchmark: `f` executes a single iteration and returns
+    /// its cost in simulated cycles.
+    pub fn bench(&mut self, label: &str, mut f: impl FnMut() -> u64) -> &BenchResult {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut samples: Vec<u64> = (0..self.iters).map(|_| f()).collect();
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        let result = BenchResult {
+            group: self.name.clone(),
+            label: label.to_string(),
+            warmup: self.warmup,
+            iters: self.iters,
+            mean: sum as f64 / samples.len() as f64,
+            p50: percentile(&samples, 50.0),
+            p99: percentile(&samples, 99.0),
+            min: samples[0],
+            max: samples[samples.len() - 1],
+        };
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Prints the table (and JSON when [`JSON_ENV`] is set), returning
+    /// the collected results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        println!("\n{} (warmup {}, iters {})", self.name, self.warmup, self.iters);
+        row(&[("label", 34), ("mean cyc", 14), ("p50", 14), ("p99", 14), ("min", 14), ("max", 14)]);
+        for r in &self.results {
+            row(&[
+                (&r.label, 34),
+                (&cycles(r.mean.round() as u64), 14),
+                (&cycles(r.p50), 14),
+                (&cycles(r.p99), 14),
+                (&cycles(r.min), 14),
+                (&cycles(r.max), 14),
+            ]);
+        }
+        if std::env::var(JSON_ENV).is_ok_and(|v| !v.is_empty() && v != "0") {
+            println!("{}", render_json(&self.results));
+        }
+        self.results
+    }
+}
+
+/// Nearest-rank percentile over sorted samples.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Renders a slice of results as one JSON document.
+pub fn render_json(results: &[BenchResult]) -> String {
+    json_array(&results.iter().map(BenchResult::json).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_samples_summarize_exactly() {
+        let mut g = BenchGroup::new("g").warmup(2).iters(10);
+        let r = g.bench("const", || 7135).clone();
+        assert_eq!(r.mean, 7135.0);
+        assert_eq!(r.p50, 7135);
+        assert_eq!(r.p99, 7135);
+        assert_eq!(r.min, 7135);
+        assert_eq!(r.max, 7135);
+        assert_eq!(r.iters, 10);
+    }
+
+    #[test]
+    fn warmup_iterations_are_not_recorded() {
+        let mut calls = 0u64;
+        let mut g = BenchGroup::new("g").warmup(5).iters(3);
+        // Warmup iterations return huge values that must not pollute stats.
+        let r = g
+            .bench("counted", || {
+                calls += 1;
+                if calls <= 5 {
+                    1_000_000
+                } else {
+                    100
+                }
+            })
+            .clone();
+        assert_eq!(calls, 8);
+        assert_eq!(r.max, 100);
+    }
+
+    #[test]
+    fn percentiles_on_varying_samples() {
+        let mut g = BenchGroup::new("g").warmup(0).iters(100);
+        let mut i = 0u64;
+        let r = g
+            .bench("ramp", || {
+                i += 1;
+                i
+            })
+            .clone();
+        assert_eq!(r.min, 1);
+        assert_eq!(r.max, 100);
+        assert_eq!(r.p50, 50);
+        assert_eq!(r.p99, 99);
+        assert!((r.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let mut g = BenchGroup::new("grp").warmup(0).iters(1);
+        g.bench("a", || 1);
+        g.bench("b", || 2);
+        let json = render_json(&g.finish());
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"group\": \"grp\""));
+        assert!(json.contains("\"label\": \"b\""));
+        assert!(json.contains("\"p99\": 2"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `veil-testkit` — the hermetic, first-party test and benchmark harness.
+//!
+//! Veil's thesis is TCB minimization through self-contained, auditable
+//! trusted components (§3). The testing layer follows the same rule: no
+//! external crates, no OS entropy, no wall clocks. Everything here is
+//! deterministic and replayable:
+//!
+//! * [`rng::TestRng`] — a seedable PRNG facade over the repo's own
+//!   ChaCha20 DRBG (`veil_crypto::drbg`), with the `gen_range` /
+//!   `shuffle` / `fill_bytes` surface tests previously pulled from the
+//!   `rand` crate;
+//! * [`prop`] — a minimal property-testing engine (generators,
+//!   configurable case counts, greedy shrinking) whose failures print a
+//!   seed that `VEIL_TEST_SEED=<hex>` replays exactly;
+//! * [`bench`] — a criterion-free micro-bench runner reporting
+//!   mean/p50/p99 over the deterministic `veil-snp::cost` cycle model,
+//!   with table and JSON output;
+//! * [`fmt`] — table/number formatting shared by the bench runner and
+//!   the `reproduce`/`inspect` binaries.
+
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod fmt;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{BenchGroup, BenchResult};
+pub use prop::Strategy;
+pub use rng::TestRng;

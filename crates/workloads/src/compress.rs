@@ -229,7 +229,7 @@ impl Workload for SevenZipWorkload {
             let mut corpus = Vec::with_capacity(corpus_len);
             while corpus.len() < corpus_len {
                 let w = words[(drbg.next_u64() % 4) as usize];
-                if drbg.next_u64() % 8 == 0 {
+                if drbg.next_u64().is_multiple_of(8) {
                     corpus.push(drbg.next_u64() as u8);
                 } else {
                     corpus.extend_from_slice(w);
@@ -258,8 +258,8 @@ mod tests {
 
     #[test]
     fn roundtrip_structured_data() {
-        let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox again!"
-            .repeat(50);
+        let data =
+            b"the quick brown fox jumps over the lazy dog. the quick brown fox again!".repeat(50);
         let compressed = lz77_compress(&data);
         assert!(compressed.len() < data.len() / 2, "repetitive data compresses well");
         assert_eq!(lz77_decompress(&compressed).unwrap(), data);

@@ -200,10 +200,7 @@ mod tests {
         })
         .unwrap();
         let crossings_after_shielded = d.rt.stats.crossings;
-        d.untrusted(&mut |sys| {
-            sys.stat("/tmp/e").map(|_| ())
-        })
-        .unwrap();
+        d.untrusted(&mut |sys| sys.stat("/tmp/e").map(|_| ())).unwrap();
         // The untrusted section added at most the park-exit.
         assert!(d.rt.stats.crossings <= crossings_after_shielded + 1);
         assert!(d.rt.stats.syscalls >= 3);

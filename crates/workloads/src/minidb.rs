@@ -27,12 +27,12 @@ pub struct BTree {
 struct Node {
     keys: Vec<u64>,
     rows: Vec<Vec<u8>>,
-    children: Vec<Box<Node>>,
+    children: Vec<Node>,
 }
 
 impl Node {
-    fn leaf() -> Box<Node> {
-        Box::new(Node { keys: Vec::new(), rows: Vec::new(), children: Vec::new() })
+    fn leaf() -> Node {
+        Node { keys: Vec::new(), rows: Vec::new(), children: Vec::new() }
     }
 
     fn is_leaf(&self) -> bool {
@@ -54,13 +54,13 @@ impl BTree {
     pub fn insert(&mut self, key: u64, row: Vec<u8>) {
         let mut root = match self.root.take() {
             Some(r) => r,
-            None => Node::leaf(),
+            None => Box::new(Node::leaf()),
         };
         if root.full() {
             let mut new_root = Node::leaf();
-            new_root.children.push(root);
+            new_root.children.push(*root);
             Self::split_child(&mut new_root, 0);
-            root = new_root;
+            root = Box::new(new_root);
         }
         if Self::insert_nonfull(&mut root, key, row) {
             self.len += 1;
@@ -252,9 +252,10 @@ impl Workload for SqliteSpeedtestWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::BTreeMap;
     use veil_os::sys::Sys;
+    use veil_testkit::prop::{check, tuple2, u64s, u8s, vecs};
+    use veil_testkit::prop_assert_eq;
 
     #[test]
     fn btree_insert_get() {
@@ -290,10 +291,11 @@ mod tests {
         assert_eq!(seen, sorted);
     }
 
-    proptest! {
-        /// The B-tree agrees with a BTreeMap oracle on any insert stream.
-        #[test]
-        fn prop_btree_matches_oracle(entries in proptest::collection::vec((0u64..500, 0u8..255), 1..400)) {
+    /// The B-tree agrees with a BTreeMap oracle on any insert stream.
+    #[test]
+    fn prop_btree_matches_oracle() {
+        let entries = vecs(tuple2(u64s(0..500), u8s(0..255)), 1..400);
+        check("prop_btree_matches_oracle", 64, &entries, |entries| {
             let mut tree = BTree::new();
             let mut oracle = BTreeMap::new();
             for (k, v) in &entries {
@@ -306,10 +308,10 @@ mod tests {
             }
             let mut scanned = Vec::new();
             tree.scan(&mut |k, row| scanned.push((k, row.to_vec())));
-            let expect: Vec<(u64, Vec<u8>)> =
-                oracle.into_iter().collect();
+            let expect: Vec<(u64, Vec<u8>)> = oracle.into_iter().collect();
             prop_assert_eq!(scanned, expect);
-        }
+            Ok(())
+        });
     }
 
     #[test]

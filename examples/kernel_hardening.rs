@@ -57,8 +57,7 @@ fn main() {
     // 5. The OS cannot abuse unload to strip protection from other pages.
     let victim = cvm.gate.monitor.layout.kernel_pool.start + 3;
     let strip = {
-        let (_, mut ctx) = cvm.kctx();
-        use veil_os::monitor::MonitorChannel;
+        let (_, ctx) = cvm.kctx();
         ctx.gate.request(
             ctx.hv,
             0,

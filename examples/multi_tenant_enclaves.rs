@@ -33,12 +33,8 @@ fn main() {
 
     // Tenant B: a consumer enclave in a different process.
     let pid_b = cvm.spawn();
-    let consumer = install_enclave(
-        &mut cvm,
-        pid_b,
-        &EnclaveBinary::build("consumer", 4096, 1024),
-    )
-    .expect("install consumer");
+    let consumer = install_enclave(&mut cvm, pid_b, &EnclaveBinary::build("consumer", 4096, 1024))
+        .expect("install consumer");
 
     // The worker thread fills the shared buffer with batched logging.
     let buffer = producer.heap_base;

@@ -22,7 +22,11 @@ fn main() {
     let binary = EnclaveBinary::build("pii-database", 16 * 1024, 4 * 1024).with_heap_pages(24);
     let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
     let measurement = cvm.gate.services.enc.enclave(handle.id).unwrap().measurement;
-    println!("enclave {} installed; measurement {}", handle.id, veil_crypto::sha256::hex(&measurement.0));
+    println!(
+        "enclave {} installed; measurement {}",
+        handle.id,
+        veil_crypto::sha256::hex(&measurement.0)
+    );
 
     // 2. The remote user attests the enclave before sending records.
     let expected: Vec<_> = binary.expected_pages(handle.base);

@@ -69,7 +69,11 @@ fn main() {
         let rec = veil_os::audit::AuditRecord::from_bytes(&bytes).expect("parse");
         println!(
             "  seq {:>3}  pid {:>2}  uid {:>2}  {:<10} ret {}",
-            rec.seq, rec.pid, rec.uid, rec.sysno.to_string(), rec.ret
+            rec.seq,
+            rec.pid,
+            rec.uid,
+            rec.sysno.to_string(),
+            rec.ret
         );
     }
     // The attack reconstruction is all there: setuid, file creation,

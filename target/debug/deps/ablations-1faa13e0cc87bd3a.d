@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1faa13e0cc87bd3a.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1faa13e0cc87bd3a: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

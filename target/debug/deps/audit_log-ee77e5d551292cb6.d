@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_log-ee77e5d551292cb6.d: crates/bench/benches/audit_log.rs
+
+/root/repo/target/debug/deps/audit_log-ee77e5d551292cb6: crates/bench/benches/audit_log.rs
+
+crates/bench/benches/audit_log.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/background-b9da4d2705df558e.d: crates/bench/benches/background.rs
+
+/root/repo/target/debug/deps/background-b9da4d2705df558e: crates/bench/benches/background.rs
+
+crates/bench/benches/background.rs:

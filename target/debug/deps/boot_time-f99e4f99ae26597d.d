@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/boot_time-f99e4f99ae26597d.d: crates/bench/benches/boot_time.rs
+
+/root/repo/target/debug/deps/boot_time-f99e4f99ae26597d: crates/bench/benches/boot_time.rs
+
+crates/bench/benches/boot_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/domain_switch-67e10559d5e30e8a.d: crates/bench/benches/domain_switch.rs
+
+/root/repo/target/debug/deps/domain_switch-67e10559d5e30e8a: crates/bench/benches/domain_switch.rs
+
+crates/bench/benches/domain_switch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enclave_apps-a321227053a83807.d: crates/bench/benches/enclave_apps.rs
+
+/root/repo/target/debug/deps/enclave_apps-a321227053a83807: crates/bench/benches/enclave_apps.rs
+
+crates/bench/benches/enclave_apps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enclave_apps-bdd9e080fcf806f2.d: crates/bench/benches/enclave_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenclave_apps-bdd9e080fcf806f2.rmeta: crates/bench/benches/enclave_apps.rs Cargo.toml
+
+crates/bench/benches/enclave_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enclave_e2e-87f743c46ade521a.d: crates/sdk/tests/enclave_e2e.rs
+
+/root/repo/target/debug/deps/enclave_e2e-87f743c46ade521a: crates/sdk/tests/enclave_e2e.rs
+
+crates/sdk/tests/enclave_e2e.rs:

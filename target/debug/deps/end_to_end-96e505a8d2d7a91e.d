@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-96e505a8d2d7a91e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-96e505a8d2d7a91e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

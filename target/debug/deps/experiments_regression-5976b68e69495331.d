@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_regression-5976b68e69495331.d: tests/experiments_regression.rs
+
+/root/repo/target/debug/deps/experiments_regression-5976b68e69495331: tests/experiments_regression.rs
+
+tests/experiments_regression.rs:

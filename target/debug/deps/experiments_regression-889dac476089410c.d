@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_regression-889dac476089410c.d: tests/experiments_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_regression-889dac476089410c.rmeta: tests/experiments_regression.rs Cargo.toml
+
+tests/experiments_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c035711670024890.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c035711670024890: tests/extensions.rs
+
+tests/extensions.rs:

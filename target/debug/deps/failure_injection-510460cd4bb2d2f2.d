@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-510460cd4bb2d2f2.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-510460cd4bb2d2f2: tests/failure_injection.rs
+
+tests/failure_injection.rs:

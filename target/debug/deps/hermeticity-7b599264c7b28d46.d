@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hermeticity-7b599264c7b28d46.d: tests/hermeticity.rs
+
+/root/repo/target/debug/deps/hermeticity-7b599264c7b28d46: tests/hermeticity.rs
+
+tests/hermeticity.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hermeticity-ff9cf3254b87e5b7.d: tests/hermeticity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermeticity-ff9cf3254b87e5b7.rmeta: tests/hermeticity.rs Cargo.toml
+
+tests/hermeticity.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-3c385caad5fb0c16.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-3c385caad5fb0c16: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

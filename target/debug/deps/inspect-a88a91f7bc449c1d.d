@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-a88a91f7bc449c1d.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-a88a91f7bc449c1d: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

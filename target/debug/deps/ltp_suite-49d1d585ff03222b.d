@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ltp_suite-49d1d585ff03222b.d: tests/ltp_suite.rs
+
+/root/repo/target/debug/deps/ltp_suite-49d1d585ff03222b: tests/ltp_suite.rs
+
+tests/ltp_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/module_kci-af9b7afd66421400.d: crates/bench/benches/module_kci.rs
+
+/root/repo/target/debug/deps/module_kci-af9b7afd66421400: crates/bench/benches/module_kci.rs
+
+crates/bench/benches/module_kci.rs:

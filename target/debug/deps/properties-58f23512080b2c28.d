@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-58f23512080b2c28.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-58f23512080b2c28: tests/properties.rs
+
+tests/properties.rs:

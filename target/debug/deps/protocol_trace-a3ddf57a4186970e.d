@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_trace-a3ddf57a4186970e.d: tests/protocol_trace.rs
+
+/root/repo/target/debug/deps/protocol_trace-a3ddf57a4186970e: tests/protocol_trace.rs
+
+tests/protocol_trace.rs:

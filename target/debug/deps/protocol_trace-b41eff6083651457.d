@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_trace-b41eff6083651457.d: tests/protocol_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_trace-b41eff6083651457.rmeta: tests/protocol_trace.rs Cargo.toml
+
+tests/protocol_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

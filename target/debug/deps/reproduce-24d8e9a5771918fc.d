@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-24d8e9a5771918fc.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-24d8e9a5771918fc: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-31a27cd3ac557051.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-31a27cd3ac557051: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

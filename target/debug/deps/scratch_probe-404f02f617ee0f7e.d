@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_probe-404f02f617ee0f7e.d: tests/scratch_probe.rs
+
+/root/repo/target/debug/deps/scratch_probe-404f02f617ee0f7e: tests/scratch_probe.rs
+
+tests/scratch_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_seed_demo-9e103ef44a12de2e.d: tests/scratch_seed_demo.rs
+
+/root/repo/target/debug/deps/scratch_seed_demo-9e103ef44a12de2e: tests/scratch_seed_demo.rs
+
+tests/scratch_seed_demo.rs:

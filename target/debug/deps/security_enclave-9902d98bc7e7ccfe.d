@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_enclave-9902d98bc7e7ccfe.d: tests/security_enclave.rs
+
+/root/repo/target/debug/deps/security_enclave-9902d98bc7e7ccfe: tests/security_enclave.rs
+
+tests/security_enclave.rs:

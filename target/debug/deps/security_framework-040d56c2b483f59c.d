@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_framework-040d56c2b483f59c.d: tests/security_framework.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_framework-040d56c2b483f59c.rmeta: tests/security_framework.rs Cargo.toml
+
+tests/security_framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_framework-09a6e3cedf1c2c74.d: tests/security_framework.rs
+
+/root/repo/target/debug/deps/security_framework-09a6e3cedf1c2c74: tests/security_framework.rs
+
+tests/security_framework.rs:

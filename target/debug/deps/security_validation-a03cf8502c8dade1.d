@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_validation-a03cf8502c8dade1.d: tests/security_validation.rs
+
+/root/repo/target/debug/deps/security_validation-a03cf8502c8dade1: tests/security_validation.rs
+
+tests/security_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/syscall_redirect-aed6ed5c09489837.d: crates/bench/benches/syscall_redirect.rs
+
+/root/repo/target/debug/deps/syscall_redirect-aed6ed5c09489837: crates/bench/benches/syscall_redirect.rs
+
+crates/bench/benches/syscall_redirect.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veil-c58c7ca1bea3dbcd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libveil-c58c7ca1bea3dbcd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libveil-c58c7ca1bea3dbcd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veil-f05ab214929aa3a6.d: src/lib.rs
+
+/root/repo/target/debug/deps/veil-f05ab214929aa3a6: src/lib.rs
+
+src/lib.rs:

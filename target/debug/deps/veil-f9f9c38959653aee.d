@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/veil-f9f9c38959653aee.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil-f9f9c38959653aee.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veil_bench-ee0648f2319b1e6b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/veil_bench-ee0648f2319b1e6b: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/veil_crypto-38f8b1b8a185e483.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/dh.rs crates/crypto/src/drbg.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_crypto-38f8b1b8a185e483.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/dh.rs crates/crypto/src/drbg.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/dh.rs:
+crates/crypto/src/drbg.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

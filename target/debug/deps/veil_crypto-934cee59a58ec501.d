@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/veil_crypto-934cee59a58ec501.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/dh.rs crates/crypto/src/drbg.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/veil_crypto-934cee59a58ec501: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/dh.rs crates/crypto/src/drbg.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/dh.rs:
+crates/crypto/src/drbg.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veil_hv-4cca48a2c4b187b2.d: crates/hv/src/lib.rs
+
+/root/repo/target/debug/deps/libveil_hv-4cca48a2c4b187b2.rlib: crates/hv/src/lib.rs
+
+/root/repo/target/debug/deps/libveil_hv-4cca48a2c4b187b2.rmeta: crates/hv/src/lib.rs
+
+crates/hv/src/lib.rs:

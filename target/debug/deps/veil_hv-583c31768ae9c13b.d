@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veil_hv-583c31768ae9c13b.d: crates/hv/src/lib.rs
+
+/root/repo/target/debug/deps/veil_hv-583c31768ae9c13b: crates/hv/src/lib.rs
+
+crates/hv/src/lib.rs:

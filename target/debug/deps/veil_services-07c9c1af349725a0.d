@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veil_services-07c9c1af349725a0.d: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/debug/deps/libveil_services-07c9c1af349725a0.rlib: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/debug/deps/libveil_services-07c9c1af349725a0.rmeta: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+crates/services/src/lib.rs:
+crates/services/src/enc.rs:
+crates/services/src/kci.rs:
+crates/services/src/log.rs:

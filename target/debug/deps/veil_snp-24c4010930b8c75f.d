@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/veil_snp-24c4010930b8c75f.d: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs
+
+/root/repo/target/debug/deps/veil_snp-24c4010930b8c75f: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs
+
+crates/snp/src/lib.rs:
+crates/snp/src/attest.rs:
+crates/snp/src/cost.rs:
+crates/snp/src/fault.rs:
+crates/snp/src/ghcb.rs:
+crates/snp/src/machine.rs:
+crates/snp/src/mem.rs:
+crates/snp/src/perms.rs:
+crates/snp/src/pt.rs:
+crates/snp/src/rmp.rs:
+crates/snp/src/vmsa.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/veil_testkit-06fe286774060e2b.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_testkit-06fe286774060e2b.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/fmt.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

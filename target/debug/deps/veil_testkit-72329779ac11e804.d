@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/veil_testkit-72329779ac11e804.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+/root/repo/target/debug/deps/libveil_testkit-72329779ac11e804.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+/root/repo/target/debug/deps/libveil_testkit-72329779ac11e804.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/fmt.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/veil_testkit-9d07d6cdc3d50fbf.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_testkit-9d07d6cdc3d50fbf.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/fmt.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_hardening-7bbdb767a851c64d.d: examples/kernel_hardening.rs
+
+/root/repo/target/debug/examples/kernel_hardening-7bbdb767a851c64d: examples/kernel_hardening.rs
+
+examples/kernel_hardening.rs:

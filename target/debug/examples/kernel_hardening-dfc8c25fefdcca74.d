@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kernel_hardening-dfc8c25fefdcca74.d: examples/kernel_hardening.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkernel_hardening-dfc8c25fefdcca74.rmeta: examples/kernel_hardening.rs Cargo.toml
+
+examples/kernel_hardening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_enclaves-2e17d73303e373dd.d: examples/multi_tenant_enclaves.rs
+
+/root/repo/target/debug/examples/multi_tenant_enclaves-2e17d73303e373dd: examples/multi_tenant_enclaves.rs
+
+examples/multi_tenant_enclaves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-631463e9dab0a29a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-631463e9dab0a29a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shielded_database-e66b601481948009.d: examples/shielded_database.rs
+
+/root/repo/target/debug/examples/shielded_database-e66b601481948009: examples/shielded_database.rs
+
+examples/shielded_database.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tamper_proof_forensics-b55f53348a6fdd8c.d: examples/tamper_proof_forensics.rs
+
+/root/repo/target/debug/examples/tamper_proof_forensics-b55f53348a6fdd8c: examples/tamper_proof_forensics.rs
+
+examples/tamper_proof_forensics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-5424067b42492de2.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-5424067b42492de2: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_log-b4d156f9a51bc0fc.d: crates/bench/benches/audit_log.rs
+
+/root/repo/target/release/deps/audit_log-b4d156f9a51bc0fc: crates/bench/benches/audit_log.rs
+
+crates/bench/benches/audit_log.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/background-618c5f1730a76e67.d: crates/bench/benches/background.rs
+
+/root/repo/target/release/deps/background-618c5f1730a76e67: crates/bench/benches/background.rs
+
+crates/bench/benches/background.rs:

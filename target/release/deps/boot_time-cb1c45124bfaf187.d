@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/boot_time-cb1c45124bfaf187.d: crates/bench/benches/boot_time.rs
+
+/root/repo/target/release/deps/boot_time-cb1c45124bfaf187: crates/bench/benches/boot_time.rs
+
+crates/bench/benches/boot_time.rs:

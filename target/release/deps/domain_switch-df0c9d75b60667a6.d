@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/domain_switch-df0c9d75b60667a6.d: crates/bench/benches/domain_switch.rs
+
+/root/repo/target/release/deps/domain_switch-df0c9d75b60667a6: crates/bench/benches/domain_switch.rs
+
+crates/bench/benches/domain_switch.rs:

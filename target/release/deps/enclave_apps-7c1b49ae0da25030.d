@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/enclave_apps-7c1b49ae0da25030.d: crates/bench/benches/enclave_apps.rs
+
+/root/repo/target/release/deps/enclave_apps-7c1b49ae0da25030: crates/bench/benches/enclave_apps.rs
+
+crates/bench/benches/enclave_apps.rs:

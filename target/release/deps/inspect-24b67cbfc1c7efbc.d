@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inspect-24b67cbfc1c7efbc.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/release/deps/inspect-24b67cbfc1c7efbc: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/module_kci-8f20f87269e22670.d: crates/bench/benches/module_kci.rs
+
+/root/repo/target/release/deps/module_kci-8f20f87269e22670: crates/bench/benches/module_kci.rs
+
+crates/bench/benches/module_kci.rs:

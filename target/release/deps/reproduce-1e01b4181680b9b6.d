@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-1e01b4181680b9b6.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-1e01b4181680b9b6: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

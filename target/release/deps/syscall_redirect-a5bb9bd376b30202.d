@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/syscall_redirect-a5bb9bd376b30202.d: crates/bench/benches/syscall_redirect.rs
+
+/root/repo/target/release/deps/syscall_redirect-a5bb9bd376b30202: crates/bench/benches/syscall_redirect.rs
+
+crates/bench/benches/syscall_redirect.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/veil-f764bdc276bbb8f5.d: src/lib.rs
+
+/root/repo/target/release/deps/libveil-f764bdc276bbb8f5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libveil-f764bdc276bbb8f5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/veil_bench-1c93a2d745dc0bb3.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/release/deps/libveil_bench-1c93a2d745dc0bb3.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/release/deps/libveil_bench-1c93a2d745dc0bb3.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:

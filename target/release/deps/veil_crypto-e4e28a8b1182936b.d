@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/veil_crypto-e4e28a8b1182936b.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/dh.rs crates/crypto/src/drbg.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libveil_crypto-e4e28a8b1182936b.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/dh.rs crates/crypto/src/drbg.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libveil_crypto-e4e28a8b1182936b.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/dh.rs crates/crypto/src/drbg.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/dh.rs:
+crates/crypto/src/drbg.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/veil_hv-7700f43a52b568f1.d: crates/hv/src/lib.rs
+
+/root/repo/target/release/deps/libveil_hv-7700f43a52b568f1.rlib: crates/hv/src/lib.rs
+
+/root/repo/target/release/deps/libveil_hv-7700f43a52b568f1.rmeta: crates/hv/src/lib.rs
+
+crates/hv/src/lib.rs:

@@ -134,8 +134,7 @@ fn multi_vcpu_cvm_with_hotplug() {
 fn enclave_full_lifecycle_with_syscall_mix() {
     let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
     let pid = cvm.spawn();
-    let handle =
-        install_enclave(&mut cvm, pid, &EnclaveBinary::build("mix", 4096, 2048)).unwrap();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("mix", 4096, 2048)).unwrap();
     let mut rt = EnclaveRuntime::new(handle.clone());
     {
         let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
@@ -172,21 +171,12 @@ fn gate_requests_work_from_every_vcpu() {
     // Regression: each VCPU needs its own kernel GHCB registered at boot,
     // or monitor requests from secondary VCPUs would wedge the CVM.
     let mut cvm = CvmBuilder::new().frames(4096).vcpus(3).build().unwrap();
-    use veil_os::monitor::MonitorChannel;
     for vcpu in 0..3u32 {
         let gfn = cvm.gate.monitor.layout.shared.start + 16 + vcpu as u64;
         cvm.hv.machine.rmp_assign(gfn).unwrap();
-        let mut ctx = veil_os::kernel::KernelCtx {
-            hv: &mut cvm.hv,
-            gate: &mut cvm.gate,
-            vcpu,
-        };
+        let ctx = veil_os::kernel::KernelCtx { hv: &mut cvm.hv, gate: &mut cvm.gate, vcpu };
         ctx.gate
-            .request(
-                ctx.hv,
-                vcpu,
-                veil_os::monitor::MonRequest::Pvalidate { gfn, validate: true },
-            )
+            .request(ctx.hv, vcpu, veil_os::monitor::MonRequest::Pvalidate { gfn, validate: true })
             .unwrap_or_else(|e| panic!("vcpu {vcpu}: {e}"));
         // Each VCPU ended back in its kernel domain.
         assert_eq!(cvm.hv.vcpu(vcpu).unwrap().current_vmpl, veil_snp::perms::Vmpl::Vmpl3);

@@ -19,8 +19,7 @@ fn cvm(vcpus: u32) -> Cvm {
 fn second_thread_runs_on_another_vcpu() {
     let mut cvm = cvm(2);
     let pid = cvm.spawn();
-    let handle =
-        install_enclave(&mut cvm, pid, &EnclaveBinary::build("mt", 4096, 2048)).unwrap();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("mt", 4096, 2048)).unwrap();
     let thread = add_enclave_thread(&mut cvm, &handle, 1).expect("add thread");
     assert_eq!(thread.vcpu, 1);
     assert_ne!(thread.ghcb_gfn, handle.ghcb_gfn, "per-thread GHCBs");
@@ -210,9 +209,8 @@ fn mutual_sharing_maps_owner_pages_into_peer() {
         "no offer yet"
     );
     enc.offer_share(ha.id, hb.id, shared_vaddr, 1).unwrap();
-    let base = enc
-        .accept_share(&mut cvm.gate.monitor, &mut cvm.hv, hb.id, ha.id, SHARE_WINDOW)
-        .unwrap();
+    let base =
+        enc.accept_share(&mut cvm.gate.monitor, &mut cvm.hv, hb.id, ha.id, SHARE_WINDOW).unwrap();
     assert_eq!(base, SHARE_WINDOW);
 
     // The peer now reads the owner's page through its own protected
@@ -243,9 +241,7 @@ fn share_offer_requires_resident_enclave_pages() {
     // Outside the enclave range: refused.
     assert!(enc.offer_share(ha.id, hb.id, ha.shared_base, 1).is_err());
     // Beyond the resident range: refused.
-    assert!(enc
-        .offer_share(ha.id, hb.id, ha.base + ha.len as u64 - PAGE_SIZE as u64, 2)
-        .is_err());
+    assert!(enc.offer_share(ha.id, hb.id, ha.base + ha.len as u64 - PAGE_SIZE as u64, 2).is_err());
 }
 
 #[test]
@@ -253,12 +249,9 @@ fn acceptance_consumes_the_offer() {
     let mut cvm = cvm(1);
     let pid_a = cvm.spawn();
     let pid_b = cvm.spawn();
-    let ha = install_enclave(
-        &mut cvm,
-        pid_a,
-        &EnclaveBinary::build("o3", 2048, 0).with_heap_pages(2),
-    )
-    .unwrap();
+    let ha =
+        install_enclave(&mut cvm, pid_a, &EnclaveBinary::build("o3", 2048, 0).with_heap_pages(2))
+            .unwrap();
     let hb = install_enclave(&mut cvm, pid_b, &EnclaveBinary::build("p3", 2048, 0)).unwrap();
     let enc = &mut cvm.gate.services.enc;
     enc.offer_share(ha.id, hb.id, ha.heap_base, 1).unwrap();

@@ -1,11 +1,10 @@
 //! Failure injection: interrupts mid-execution, resource exhaustion,
 //! paging misuse, and hostile inputs to trusted parsers.
 
-use proptest::prelude::*;
 use veil::prelude::*;
 use veil_os::audit::AuditMode;
 use veil_os::module::ModuleImage;
-use veil_os::monitor::{MonRequest, MonitorChannel};
+use veil_os::monitor::MonRequest;
 use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
 use veil_snp::perms::Vmpl;
 
@@ -108,7 +107,7 @@ fn paging_misuse_refused() {
         let (kernel, _) = cvm.kctx();
         (kernel.frames.alloc().unwrap(), kernel.frames.alloc().unwrap())
     };
-    let (_, mut ctx) = cvm.kctx();
+    let (_, ctx) = cvm.kctx();
     let r = ctx.gate.request(
         ctx.hv,
         0,
@@ -131,7 +130,7 @@ fn page_out_outside_enclave_refused() {
     let mut cvm = cvm();
     let pid = cvm.spawn();
     let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("px", 2048, 0)).unwrap();
-    let (_, mut ctx) = cvm.kctx();
+    let (_, ctx) = cvm.kctx();
     let r = ctx.gate.request(
         ctx.hv,
         0,
@@ -140,32 +139,46 @@ fn page_out_outside_enclave_refused() {
     assert!(r.is_err());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The module parser — trusted code fed attacker bytes — never
-    /// panics and never accepts corrupted images.
-    #[test]
-    fn module_parser_survives_garbage(mut bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
-        // Random bytes: parse may fail, must not panic.
-        let _ = ModuleImage::deserialize(&bytes);
-        // Bit-flipped real images: parse may succeed, but then the
-        // signature check must fail.
-        let image = ModuleImage::build_signed("prop", 512, &[9; 32]);
-        let mut real = image.serialize();
-        if !bytes.is_empty() {
-            let idx = bytes[0] as usize % real.len();
-            real[idx] ^= bytes[0] | 1;
-            if let Ok(parsed) = ModuleImage::deserialize(&real) {
-                prop_assert!(!parsed.verify(&[9; 32]), "tampered image must not verify");
+/// The module parser — trusted code fed attacker bytes — never
+/// panics and never accepts corrupted images.
+#[test]
+fn module_parser_survives_garbage() {
+    veil_testkit::prop::check(
+        "module_parser_survives_garbage",
+        96,
+        &veil_testkit::prop::bytes(0..2048),
+        |bytes| {
+            // Random bytes: parse may fail, must not panic.
+            let _ = ModuleImage::deserialize(&bytes);
+            // Bit-flipped real images: parse may succeed, but then the
+            // signature check must fail.
+            let image = ModuleImage::build_signed("prop", 512, &[9; 32]);
+            let mut real = image.serialize();
+            if !bytes.is_empty() {
+                let idx = bytes[0] as usize % real.len();
+                real[idx] ^= bytes[0] | 1;
+                if let Ok(parsed) = ModuleImage::deserialize(&real) {
+                    veil_testkit::prop_assert!(
+                        !parsed.verify(&[9; 32]),
+                        "tampered image must not verify"
+                    );
+                }
             }
-        }
-        bytes.clear();
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Audit-record parsing never panics on arbitrary bytes.
-    #[test]
-    fn audit_parser_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let _ = veil_os::audit::AuditRecord::from_bytes(&bytes);
-    }
+/// Audit-record parsing never panics on arbitrary bytes.
+#[test]
+fn audit_parser_survives_garbage() {
+    veil_testkit::prop::check(
+        "audit_parser_survives_garbage",
+        96,
+        &veil_testkit::prop::bytes(0..256),
+        |bytes| {
+            let _ = veil_os::audit::AuditRecord::from_bytes(&bytes);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,142 @@
+//! Hermeticity regression test: the workspace must build from an empty
+//! cargo registry. Every dependency of every crate has to be a
+//! first-party `veil-*` path dependency — no `rand`, no `proptest`, no
+//! `criterion`, nothing fetched from crates.io. The deterministic
+//! replacements live in `veil-testkit`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Names that used to be external dependencies and must never return.
+const BANNED: &[&str] = &["rand", "proptest", "criterion", "quickcheck", "serde"];
+
+/// Dependency-declaring TOML sections (including target-specific forms,
+/// which contain one of these as a suffix).
+const DEP_SECTIONS: &[&str] = &["dependencies", "dev-dependencies", "build-dependencies"];
+
+fn find_manifests(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                find_manifests(&path, out);
+            }
+        } else if name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts `(section, dep_name)` pairs from a manifest without a TOML
+/// parser (which would itself be an external dependency).
+fn dependencies(manifest: &str) -> Vec<(String, String)> {
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    let mut in_dep_section = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].to_string();
+            // Matches `dependencies`, `dev-dependencies`,
+            // `workspace.dependencies`, `target.'cfg(..)'.dependencies`…
+            in_dep_section =
+                DEP_SECTIONS.iter().any(|s| section == *s || section.ends_with(&format!(".{s}")));
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().trim_matches('"');
+            // `veil-testkit.workspace = true` declares dep `veil-testkit`.
+            let name = key.split('.').next().unwrap_or(key);
+            if !name.is_empty() {
+                deps.push((section.clone(), name.to_string()));
+            }
+        }
+    }
+    deps
+}
+
+#[test]
+fn all_dependencies_are_first_party() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = Vec::new();
+    find_manifests(root, &mut manifests);
+    assert!(
+        manifests.len() >= 10,
+        "expected the workspace root + member manifests, found {}",
+        manifests.len()
+    );
+
+    for path in &manifests {
+        let text = fs::read_to_string(path).expect("readable manifest");
+        for (section, dep) in dependencies(&text) {
+            assert!(
+                dep.starts_with("veil"),
+                "{}: [{}] declares non-first-party dependency `{}` — the \
+                 workspace must stay buildable offline with an empty registry \
+                 (use veil-testkit instead of external test/bench crates)",
+                path.display(),
+                section,
+                dep
+            );
+            assert!(
+                !BANNED.contains(&dep.as_str()),
+                "{}: [{}] reintroduces banned dependency `{}`",
+                path.display(),
+                section,
+                dep
+            );
+        }
+    }
+}
+
+#[test]
+fn lockfile_contains_only_workspace_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let lock = fs::read_to_string(root.join("Cargo.lock")).expect("Cargo.lock present");
+    for line in lock.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name = ") {
+            let name = rest.trim_matches('"');
+            assert!(
+                name == "veil" || name.starts_with("veil-"),
+                "Cargo.lock pins external package `{name}` — offline builds would fail"
+            );
+        }
+        assert!(!line.starts_with("source = "), "Cargo.lock references a registry source: {line}");
+    }
+}
+
+#[test]
+fn no_source_file_references_removed_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name != "target" && name != ".git" {
+                    stack.push(path);
+                }
+                continue;
+            }
+            // Skip this file: it names the banned patterns literally.
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") || name == "hermeticity.rs" {
+                continue;
+            }
+            let text = fs::read_to_string(&path).expect("readable source");
+            for banned in ["use rand", "use proptest", "use criterion", "proptest!"] {
+                assert!(
+                    !text.contains(banned),
+                    "{}: references removed external crate (`{banned}`)",
+                    path.display()
+                );
+            }
+        }
+    }
+}

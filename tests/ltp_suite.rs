@@ -10,12 +10,7 @@ fn native_kernel_passes_everything() {
     let pid = cvm.spawn();
     let mut sys = cvm.sys(pid);
     let report = run_suite(&mut sys);
-    assert_eq!(
-        report.fail_count(),
-        0,
-        "native failures: {:?}",
-        report.failed
-    );
+    assert_eq!(report.fail_count(), 0, "native failures: {:?}", report.failed);
 }
 
 #[test]
@@ -32,8 +27,7 @@ fn veil_kernel_passes_everything() {
 fn enclave_sdk_passes_supported_subset() {
     let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
     let pid = cvm.spawn();
-    let handle =
-        install_enclave(&mut cvm, pid, &EnclaveBinary::build("ltp", 4096, 1024)).unwrap();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("ltp", 4096, 1024)).unwrap();
     let mut rt = EnclaveRuntime::new(handle);
     let report = {
         let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
@@ -43,8 +37,7 @@ fn enclave_sdk_passes_supported_subset() {
     // the paper's partial-pass shape ("our SDK is designed to kill the
     // enclave and exit on their execution; hence, our SDK failed all
     // tests for these system calls").
-    let expected_failures =
-        cases().iter().filter(|c| c.name.starts_with("after_kill")).count();
+    let expected_failures = cases().iter().filter(|c| c.name.starts_with("after_kill")).count();
     assert_eq!(report.fail_count(), expected_failures, "failures: {:?}", report.failed);
     for (name, _) in &report.failed {
         assert!(name.starts_with("after_kill"), "unexpected enclave failure {name}");

@@ -1,13 +1,18 @@
 //! Property-based tests over the core security invariants.
 //!
 //! These drive randomized operation sequences against the SNP model and
-//! assert the invariants Veil's whole security argument rests on.
+//! assert the invariants Veil's whole security argument rests on. The
+//! cases come from `veil-testkit`'s deterministic engine; a failure
+//! prints a `VEIL_TEST_SEED` line that replays it exactly.
 
-use proptest::prelude::*;
 use veil_snp::machine::{Machine, MachineConfig};
 use veil_snp::perms::{Access, Cpl, Vmpl, VmplPerms};
 use veil_snp::pt::{AddressSpace, PteFlags};
 use veil_snp::rmp::PageState;
+use veil_testkit::prop::{
+    bools, bytes, check, one_of, tuple2, tuple3, tuple4, u64s, u8s, usizes, vecs, Strategy,
+};
+use veil_testkit::{prop_assert, prop_assert_eq};
 
 const FRAMES: u64 = 64;
 
@@ -26,37 +31,35 @@ enum RmpOp {
     HvWrite(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = RmpOp> {
-    prop_oneof![
-        (0..FRAMES).prop_map(RmpOp::Assign),
-        (0..FRAMES).prop_map(RmpOp::Reclaim),
-        (0..4usize, 0..FRAMES, any::<bool>())
-            .prop_map(|(vmpl, gfn, validate)| RmpOp::Pvalidate { vmpl, gfn, validate }),
-        (0..4usize, 0..FRAMES, 0..4usize, 0u8..16)
-            .prop_map(|(executing, gfn, target, perms)| RmpOp::Rmpadjust {
-                executing,
-                gfn,
-                target,
-                perms
-            }),
-        (0..4usize, 0..FRAMES).prop_map(|(vmpl, gfn)| RmpOp::GuestWrite { vmpl, gfn }),
-        (0..FRAMES).prop_map(RmpOp::HvWrite),
-    ]
+fn op_strategy() -> Strategy<RmpOp> {
+    one_of(vec![
+        u64s(0..FRAMES).map(RmpOp::Assign),
+        u64s(0..FRAMES).map(RmpOp::Reclaim),
+        tuple3(usizes(0..4), u64s(0..FRAMES), bools())
+            .map(|(vmpl, gfn, validate)| RmpOp::Pvalidate { vmpl, gfn, validate }),
+        tuple4(usizes(0..4), u64s(0..FRAMES), usizes(0..4), u8s(0..16)).map(
+            |(executing, gfn, target, perms)| RmpOp::Rmpadjust { executing, gfn, target, perms },
+        ),
+        tuple2(usizes(0..4), u64s(0..FRAMES)).map(|(vmpl, gfn)| RmpOp::GuestWrite { vmpl, gfn }),
+        u64s(0..FRAMES).map(RmpOp::HvWrite),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No sequence of RMP operations — privileged or not — can ever give
-    /// a lower VMPL more access to a page than VMPL-0 granted it, let the
-    /// hypervisor read private memory, or corrupt validation state.
-    #[test]
-    fn rmp_invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// No sequence of RMP operations — privileged or not — can ever give
+/// a lower VMPL more access to a page than VMPL-0 granted it, let the
+/// hypervisor read private memory, or corrupt validation state.
+#[test]
+fn rmp_invariants_hold_under_random_ops() {
+    check("rmp_invariants_hold_under_random_ops", 64, &vecs(op_strategy(), 1..200), |ops| {
         let mut m = machine();
         for op in ops {
             match op {
-                RmpOp::Assign(gfn) => { let _ = m.rmp_assign(gfn); }
-                RmpOp::Reclaim(gfn) => { let _ = m.rmp_reclaim(gfn); }
+                RmpOp::Assign(gfn) => {
+                    let _ = m.rmp_assign(gfn);
+                }
+                RmpOp::Reclaim(gfn) => {
+                    let _ = m.rmp_reclaim(gfn);
+                }
                 RmpOp::Pvalidate { vmpl, gfn, validate } => {
                     let v = Vmpl::from_index(vmpl).unwrap();
                     let r = m.pvalidate(v, gfn, validate);
@@ -91,10 +94,7 @@ proptest! {
                 RmpOp::HvWrite(gfn) => {
                     let r = m.hv_write(gfn * 4096, b"host");
                     // The host only ever touches shared pages.
-                    prop_assert_eq!(
-                        r.is_ok(),
-                        m.rmp().hypervisor_accessible(gfn),
-                    );
+                    prop_assert_eq!(r.is_ok(), m.rmp().hypervisor_accessible(gfn));
                 }
             }
             // Global invariants after every step:
@@ -111,18 +111,17 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Page-table mapping/translation agrees with a shadow oracle under
-    /// random map/unmap/protect sequences, and protected (VMPL-restricted)
-    /// final pages always fault for the restricted level.
-    #[test]
-    fn page_tables_match_oracle(
-        ops in proptest::collection::vec(
-            (0u8..3, 0u64..32, 0u64..16, any::<bool>()),
-            1..100
-        )
-    ) {
+/// Page-table mapping/translation agrees with a shadow oracle under
+/// random map/unmap/protect sequences, and protected (VMPL-restricted)
+/// final pages always fault for the restricted level.
+#[test]
+fn page_tables_match_oracle() {
+    let ops = vecs(tuple4(u8s(0..3), u64s(0..32), u64s(0..16), bools()), 1..100);
+    check("page_tables_match_oracle", 64, &ops, |ops| {
         let mut m = Machine::new(MachineConfig { frames: 256, ..Default::default() });
         let mut free: Vec<u64> = Vec::new();
         for gfn in 1..256u64 {
@@ -145,10 +144,15 @@ proptest! {
                     let pfn = data_frames[frame_idx as usize % data_frames.len()];
                     let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
                     let r = aspace.map(&mut m, Vmpl::Vmpl3, &mut free, vaddr, pfn, flags);
-                    if oracle.contains_key(&vaddr) {
-                        prop_assert!(r.is_err(), "double map must fail");
-                    } else if r.is_ok() {
-                        oracle.insert(vaddr, (pfn, writable));
+                    match oracle.entry(vaddr) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            prop_assert!(r.is_err(), "double map must fail");
+                        }
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            if r.is_ok() {
+                                slot.insert((pfn, writable));
+                            }
+                        }
                     }
                 }
                 1 => {
@@ -179,12 +183,15 @@ proptest! {
             }
         }
         let _ = &mut data_frames;
-    }
+        Ok(())
+    });
+}
 
-    /// Sealed-channel round trips never lose or corrupt data, for any
-    /// payloads, and cross-channel messages never authenticate.
-    #[test]
-    fn secure_channel_roundtrip(msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..20)) {
+/// Sealed-channel round trips never lose or corrupt data, for any
+/// payloads, and cross-channel messages never authenticate.
+#[test]
+fn secure_channel_roundtrip() {
+    check("secure_channel_roundtrip", 64, &vecs(bytes(0..200), 1..20), |msgs| {
         use veil_core::remote::SecureChannel;
         let mut a = SecureChannel::new([1; 32]);
         let mut b = SecureChannel::new([1; 32]);
@@ -194,14 +201,18 @@ proptest! {
             prop_assert!(eve.open(&sealed).is_err(), "wrong key must fail");
             prop_assert_eq!(&b.open(&sealed).unwrap(), msg);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// LZ77 compression round-trips arbitrary data (the Fig. 5 compute
-    /// kernel must be *correct*, not just costed).
-    #[test]
-    fn lz77_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+/// LZ77 compression round-trips arbitrary data (the Fig. 5 compute
+/// kernel must be *correct*, not just costed).
+#[test]
+fn lz77_roundtrip() {
+    check("lz77_roundtrip", 64, &bytes(0..4096), |data| {
         use veil_workloads::compress::{lz77_compress, lz77_decompress};
         let c = lz77_compress(&data);
         prop_assert_eq!(lz77_decompress(&c).unwrap(), data);
-    }
+        Ok(())
+    });
 }

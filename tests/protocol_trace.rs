@@ -4,7 +4,7 @@
 
 use veil::prelude::*;
 use veil_hv::SwitchEvent;
-use veil_os::monitor::{MonRequest, MonitorChannel};
+use veil_os::monitor::MonRequest;
 use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
 use veil_snp::perms::Vmpl;
 
@@ -15,7 +15,7 @@ fn fig3_sequence_for_a_delegated_request() {
     cvm.hv.machine.rmp_assign(gfn).unwrap();
     cvm.hv.set_trace(true);
     {
-        let (_, mut ctx) = cvm.kctx();
+        let (_, ctx) = cvm.kctx();
         ctx.gate.request(ctx.hv, 0, MonRequest::Pvalidate { gfn, validate: true }).unwrap();
     }
     // Fig. 3: OS exits to the hypervisor, resumes at VeilMon, processes,
@@ -23,8 +23,20 @@ fn fig3_sequence_for_a_delegated_request() {
     assert_eq!(
         cvm.hv.trace(),
         &[
-            SwitchEvent { vcpu: 0, from: Vmpl::Vmpl3, to: Vmpl::Vmpl0, user_ghcb: false, automatic: false },
-            SwitchEvent { vcpu: 0, from: Vmpl::Vmpl0, to: Vmpl::Vmpl3, user_ghcb: false, automatic: false },
+            SwitchEvent {
+                vcpu: 0,
+                from: Vmpl::Vmpl3,
+                to: Vmpl::Vmpl0,
+                user_ghcb: false,
+                automatic: false
+            },
+            SwitchEvent {
+                vcpu: 0,
+                from: Vmpl::Vmpl0,
+                to: Vmpl::Vmpl3,
+                user_ghcb: false,
+                automatic: false
+            },
         ]
     );
 }
@@ -55,13 +67,11 @@ fn service_requests_terminate_in_dom_ser() {
 fn enclave_syscall_is_two_user_ghcb_crossings() {
     let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
     let pid = cvm.spawn();
-    let handle =
-        install_enclave(&mut cvm, pid, &EnclaveBinary::build("trace", 2048, 0)).unwrap();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("trace", 2048, 0)).unwrap();
     let mut rt = EnclaveRuntime::new(handle);
     {
         // Enter before tracing so only the syscall's crossings appear.
-        let sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
-        drop(sys);
+        let _ = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
     }
     cvm.hv.set_trace(true);
     {
@@ -72,8 +82,20 @@ fn enclave_syscall_is_two_user_ghcb_crossings() {
     assert_eq!(
         trace,
         &[
-            SwitchEvent { vcpu: 0, from: Vmpl::Vmpl2, to: Vmpl::Vmpl3, user_ghcb: true, automatic: false },
-            SwitchEvent { vcpu: 0, from: Vmpl::Vmpl3, to: Vmpl::Vmpl2, user_ghcb: true, automatic: false },
+            SwitchEvent {
+                vcpu: 0,
+                from: Vmpl::Vmpl2,
+                to: Vmpl::Vmpl3,
+                user_ghcb: true,
+                automatic: false
+            },
+            SwitchEvent {
+                vcpu: 0,
+                from: Vmpl::Vmpl3,
+                to: Vmpl::Vmpl2,
+                user_ghcb: true,
+                automatic: false
+            },
         ],
         "a redirected syscall is exactly one exit + one re-entry through the user GHCB"
     );
@@ -85,12 +107,17 @@ fn interrupt_relay_appears_as_automatic_event() {
     let pid = cvm.spawn();
     let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("irq", 2048, 0)).unwrap();
     let mut rt = EnclaveRuntime::new(handle);
-    let sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
-    drop(sys);
+    let _ = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
     cvm.hv.set_trace(true);
     cvm.hv.automatic_exit(0);
     assert_eq!(
         cvm.hv.trace(),
-        &[SwitchEvent { vcpu: 0, from: Vmpl::Vmpl2, to: Vmpl::Vmpl3, user_ghcb: false, automatic: true }]
+        &[SwitchEvent {
+            vcpu: 0,
+            from: Vmpl::Vmpl2,
+            to: Vmpl::Vmpl3,
+            user_ghcb: false,
+            automatic: true
+        }]
     );
 }

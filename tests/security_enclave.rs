@@ -1,11 +1,10 @@
 //! Table 2: potential attacks against enclaves, and VeilS-ENC's defences.
 
 use veil::prelude::*;
-use veil_os::monitor::{MonRequest, MonitorChannel};
+use veil_os::monitor::MonRequest;
 use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
 use veil_snp::mem::{gpa_of, PAGE_SIZE};
 use veil_snp::perms::{Access, Cpl, Vmpl};
-use veil_snp::pt::AddressSpace;
 
 fn cvm() -> Cvm {
     CvmBuilder::new().frames(4096).vcpus(1).build().expect("boot")
@@ -66,7 +65,7 @@ fn os_cannot_modify_enclave_page_tables() {
     let r = clone.unmap(&mut cvm.hv.machine, Vmpl::Vmpl3, h.base);
     assert!(r.is_err(), "OS edit of cloned tables must fault");
     // And remapping via the protected API is refused for enclave ranges.
-    let (_, mut ctx) = cvm.kctx();
+    let (_, ctx) = cvm.kctx();
     let r = ctx.gate.request(
         ctx.hv,
         0,
@@ -128,7 +127,6 @@ fn refused_interrupt_relay_halts() {
     cvm.hv.policy.relay_interrupts_to_unt = false;
     let mut rt = EnclaveRuntime::new(h);
     let _sys = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
-    drop(_sys);
     // An interrupt arrives while Dom_ENC runs; the hypervisor refuses to
     // relay. The enclave cannot run the OS handler -> #NPF loop -> halt.
     assert_eq!(cvm.hv.automatic_exit(0), None);
@@ -145,8 +143,7 @@ fn honest_interrupt_relay_preempts_and_resumes() {
     let mut cvm = cvm();
     let h = installed(&mut cvm, "preempt");
     let mut rt = EnclaveRuntime::new(h);
-    let sys = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
-    drop(sys);
+    let _ = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
     assert_eq!(cvm.hv.automatic_exit(0), Some(Vmpl::Vmpl3), "relayed to the OS");
     // Note: rt still believes it is inside; re-entry via the hv works.
     cvm.gate.services.enc.enter(&mut cvm.hv, rt.handle.id).expect("resume");
@@ -196,7 +193,7 @@ fn malicious_enclave_cannot_read_another_enclave() {
         kernel.process(evil_pid).unwrap().aspace.unwrap().root_gfn()
     };
     let ghcb = cvm.gate.monitor.layout.enclave_ghcb_gfns(1, 8)[3];
-    let (_, mut ctx) = cvm.kctx();
+    let (_, ctx) = cvm.kctx();
     let r = ctx.gate.request(
         ctx.hv,
         0,
@@ -250,15 +247,23 @@ fn aliased_layout_fails_finalization() {
         let (kernel, mut ctx) = cvm.kctx();
         let frame = kernel.frames.alloc().unwrap();
         let base = veil_os::process::ENCLAVE_BASE;
-        kernel.map_user_page(&mut ctx, pid, base, frame, veil_snp::pt::PteFlags::user_data()).unwrap();
         kernel
-            .map_user_page(&mut ctx, pid, base + PAGE_SIZE as u64, frame, veil_snp::pt::PteFlags::user_data())
+            .map_user_page(&mut ctx, pid, base, frame, veil_snp::pt::PteFlags::user_data())
+            .unwrap();
+        kernel
+            .map_user_page(
+                &mut ctx,
+                pid,
+                base + PAGE_SIZE as u64,
+                frame,
+                veil_snp::pt::PteFlags::user_data(),
+            )
             .unwrap();
         frame
     };
     let cr3 = cvm.kernel.process(pid).unwrap().aspace.unwrap().root_gfn();
     let ghcb = cvm.gate.monitor.layout.enclave_ghcb_gfns(1, 8)[4];
-    let (_, mut ctx) = cvm.kctx();
+    let (_, ctx) = cvm.kctx();
     let r = ctx.gate.request(
         ctx.hv,
         0,

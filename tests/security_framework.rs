@@ -7,7 +7,7 @@
 use veil::prelude::*;
 use veil_core::cvm::veil_boot_image;
 use veil_core::layout::{Layout, LayoutConfig};
-use veil_os::monitor::{MonRequest, MonitorChannel};
+use veil_os::monitor::MonRequest;
 use veil_snp::machine::{Machine, MachineConfig};
 use veil_snp::mem::gpa_of;
 use veil_snp::perms::{Cpl, Vmpl};
@@ -128,7 +128,7 @@ fn os_cannot_create_privileged_vcpus() {
     let r = cvm.hv.machine.vmsa_create(Vmpl::Vmpl3, victim, 9, Vmpl::Vmpl0, Cpl::Cpl0);
     assert!(r.is_err(), "direct VMSA creation from Dom_UNT must fault");
     // Through delegation: VeilMon only boots new VCPUs at Dom_UNT (§5.3).
-    let (_, mut ctx) = cvm.kctx();
+    let (_, ctx) = cvm.kctx();
     ctx.gate
         .request(ctx.hv, 0, MonRequest::CreateVcpu { vcpu_id: 7, rip: 1, rsp: 2, cr3: 0 })
         .expect("hotplug succeeds");
@@ -168,11 +168,11 @@ fn malicious_requests_sanitized() {
         [layout.mon_pool.start, layout.ser_pool.start, layout.log_storage.start, 1 << 40];
     for gfn in evil_targets {
         // Pvalidate delegation refuses trusted/out-of-range frames.
-        let (_, mut ctx) = cvm.kctx();
+        let (_, ctx) = cvm.kctx();
         let r = ctx.gate.request(ctx.hv, 0, MonRequest::Pvalidate { gfn, validate: false });
         assert!(r.is_err(), "pvalidate of {gfn:#x} must be refused");
         // Module staging/destination pointers are sanitized too.
-        let (_, mut ctx) = cvm.kctx();
+        let (_, ctx) = cvm.kctx();
         let r = ctx.gate.request(
             ctx.hv,
             0,
