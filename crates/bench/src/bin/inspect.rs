@@ -2,20 +2,108 @@
 //! map, per-region VMPL permissions, domain/VMSA table, and boot stats.
 //!
 //! Usage: `cargo run -p veil-bench --bin inspect [--frames N] [--vcpus N]`
+//!
+//! `inspect trace [--json] [--last N]` instead boots with deterministic
+//! event tracing on, runs a small representative workload (secure-channel
+//! handshake + enclave syscalls), and dumps the event stream, the counter
+//! fold, per-domain cycle attribution, and the trace digest.
 
+use veil_crypto::DhKeyPair;
+use veil_os::sys::{OpenFlags, Sys};
+use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
 use veil_services::CvmBuilder;
 use veil_snp::perms::Vmpl;
 use veil_snp::rmp::PageState;
+use veil_testkit::fmt;
+
+fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `inspect trace`: boot traced, drive a workload, dump the evidence.
+fn trace_mode(args: &[String]) {
+    let frames = arg_u64(args, "--frames", 4096);
+    let vcpus = arg_u64(args, "--vcpus", 2) as u32;
+    let last = arg_u64(args, "--last", 40) as usize;
+    let json = args.iter().any(|a| a == "--json");
+
+    let mut cvm = CvmBuilder::new().frames(frames).vcpus(vcpus).trace(true).build().expect("boot");
+
+    // Secure-channel handshake (§5.1).
+    let user = DhKeyPair::from_seed(&[7; 32]);
+    let (_report, _mon_pub) = cvm.gate.monitor.begin_channel(&mut cvm.hv).expect("attest");
+    cvm.gate.monitor.complete_channel(&mut cvm.hv, &user.public).expect("channel");
+
+    // A few enclave-redirected syscalls (§6.2): exercises domain
+    // switches, VMGEXIT/VMENTER pairs, and the audit pipeline.
+    let pid = cvm.spawn();
+    let handle =
+        install_enclave(&mut cvm, pid, &EnclaveBinary::build("inspect", 2048, 0)).expect("enclave");
+    let mut rt = EnclaveRuntime::new(handle);
+    {
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).expect("enter");
+        let fd = sys.open("/tmp/trace", OpenFlags::rdwr_create()).expect("open");
+        sys.write(fd, b"veil-trace").expect("write");
+        let mut buf = [0u8; 10];
+        sys.pread(fd, &mut buf, 0).expect("pread");
+        sys.close(fd).expect("close");
+    }
+    veil_sdk::runtime::park_enclave(&mut cvm, &mut rt).expect("park");
+
+    let records = cvm.trace_records();
+    let counters = cvm.hv.machine.tracer().counters();
+    let domain = cvm.domain_cycles();
+    let total = cvm.hv.machine.cycles().total();
+    let shown = if last == 0 || last >= records.len() {
+        &records[..]
+    } else {
+        &records[records.len() - last..]
+    };
+
+    if json {
+        let domain_items: Vec<String> = domain.iter().map(|c| c.to_string()).collect();
+        let obj = fmt::json_object(&[
+            fmt::json_field("events", records.len()),
+            fmt::json_field("records", veil_testkit::trace::json(shown)),
+            fmt::json_field("counters", veil_testkit::trace::counters_json(counters)),
+            fmt::json_field("domain_cycles", fmt::json_array(&domain_items)),
+            fmt::json_field("total_cycles", total),
+            fmt::json_str_field("digest", &cvm.trace_digest_hex()),
+        ]);
+        println!("{obj}");
+        return;
+    }
+
+    fmt::header("event stream");
+    println!("{} events recorded ({} shown; --last 0 for all)", records.len(), shown.len());
+    print!("{}", veil_testkit::trace::table(shown));
+
+    fmt::header("counter fold");
+    for (name, value) in veil_testkit::trace::counter_rows(counters) {
+        println!("{name:<22} {value}");
+    }
+
+    fmt::header("cycle attribution");
+    for (i, c) in domain.iter().enumerate() {
+        println!("{:<22} {}", format!("VMPL{i}"), fmt::cycles(*c));
+    }
+    println!("{:<22} {}", "total", fmt::cycles(total));
+
+    fmt::header("trace digest");
+    println!("{}", cvm.trace_digest_hex());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let get = |flag: &str, default: u64| -> u64 {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    };
+    if args.get(1).map(String::as_str) == Some("trace") {
+        trace_mode(&args);
+        return;
+    }
+    let get = |flag: &str, default: u64| -> u64 { arg_u64(&args, flag, default) };
     let frames = get("--frames", 4096);
     let vcpus = get("--vcpus", 2) as u32;
 

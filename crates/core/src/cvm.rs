@@ -33,6 +33,7 @@ pub struct CvmBuilder {
     ser_pool_frames: u64,
     shared_frames: u64,
     kci: bool,
+    trace: Option<bool>,
 }
 
 impl Default for CvmBuilder {
@@ -53,6 +54,7 @@ impl CvmBuilder {
             ser_pool_frames: d.ser_pool_frames,
             shared_frames: d.shared_frames,
             kci: true,
+            trace: None,
         }
     }
 
@@ -80,6 +82,19 @@ impl CvmBuilder {
         self
     }
 
+    /// Enables/disables deterministic event tracing (ring buffer + digest;
+    /// see `veil-trace`). When not set explicitly the `VEIL_TRACE`
+    /// environment variable decides (any value other than `0` enables).
+    /// Event-counter folds run regardless; only recording is gated.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = Some(enabled);
+        self
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.trace.unwrap_or_else(|| std::env::var_os("VEIL_TRACE").is_some_and(|v| v != *"0"))
+    }
+
     fn layout_config(&self) -> LayoutConfig {
         LayoutConfig {
             frames: self.frames,
@@ -102,6 +117,7 @@ impl CvmBuilder {
         let machine =
             Machine::new(MachineConfig { frames: self.frames as usize, ..Default::default() });
         let mut hv = Hypervisor::new(machine);
+        hv.set_trace(self.trace_enabled());
         let image = veil_boot_image(&layout);
         hv.launch(&image, layout.boot_vmsa)?;
 
@@ -138,6 +154,8 @@ impl CvmBuilder {
                 svm.current_vmpl = Vmpl::Vmpl3;
             }
         }
+        // Subsequent cycles accrue to the guest kernel domain.
+        hv.machine.set_current_domain(Vmpl::Vmpl3);
         Ok(GenericCvm { hv, gate, kernel, vcpus: self.vcpus, veil_boot_cycles })
     }
 
@@ -152,6 +170,7 @@ impl CvmBuilder {
         let machine =
             Machine::new(MachineConfig { frames: self.frames as usize, ..Default::default() });
         let mut hv = Hypervisor::new(machine);
+        hv.set_trace(self.trace_enabled());
         // The native boot image is just the kernel.
         let image: Vec<(u64, Vec<u8>)> =
             layout.kernel_text.clone().map(|gfn| (gfn, image_page(gfn, "linux-guest"))).collect();
@@ -246,6 +265,28 @@ impl<S: ServiceDispatch> GenericCvm<S> {
     /// A kernel context for direct kernel calls.
     pub fn kctx(&mut self) -> (&mut Kernel, KernelCtx<'_>) {
         (&mut self.kernel, KernelCtx { hv: &mut self.hv, gate: &mut self.gate, vcpu: 0 })
+    }
+
+    /// SHA-256 digest over every event recorded since tracing was enabled
+    /// (deterministic for a fixed build/configuration/`VEIL_TEST_SEED`).
+    pub fn trace_digest(&self) -> [u8; 32] {
+        self.hv.machine.tracer().digest()
+    }
+
+    /// [`GenericCvm::trace_digest`] as lowercase hex, as pinned by the
+    /// golden-trace tests.
+    pub fn trace_digest_hex(&self) -> String {
+        self.hv.machine.tracer().digest_hex()
+    }
+
+    /// Snapshot of the buffered trace records (oldest first).
+    pub fn trace_records(&self) -> Vec<veil_snp::trace::Record> {
+        self.hv.machine.tracer().snapshot()
+    }
+
+    /// Cycles charged while each domain (VMPL 0..=3) was executing.
+    pub fn domain_cycles(&self) -> [u64; 4] {
+        self.hv.machine.domain_cycles()
     }
 }
 

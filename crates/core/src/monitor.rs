@@ -10,6 +10,7 @@ use veil_snp::attest::AttestationReport;
 use veil_snp::cost::CostCategory;
 use veil_snp::machine::Machine;
 use veil_snp::perms::{Vmpl, VmplPerms};
+use veil_trace::Event;
 
 /// Cycle statistics of the one-time boot flow, for the §9.1 boot bench.
 #[derive(Debug, Clone, Copy, Default)]
@@ -324,14 +325,20 @@ impl Monitor {
         let report = hv.machine.attest(Vmpl::Vmpl0, report_data)?;
         let public = dh.public;
         self.dh = Some(dh);
+        hv.machine.trace_event(Event::ChannelHandshake { step: 0 });
         Some((report, public))
     }
 
     /// Completes the channel with the remote user's public value.
-    pub fn complete_channel(&mut self, peer: &DhPublic) -> Result<(), OsError> {
+    pub fn complete_channel(
+        &mut self,
+        hv: &mut Hypervisor,
+        peer: &DhPublic,
+    ) -> Result<(), OsError> {
         let dh =
             self.dh.as_ref().ok_or_else(|| OsError::Config("begin_channel not called".into()))?;
         self.channel_key = Some(dh.agree(peer).0);
+        hv.machine.trace_event(Event::ChannelHandshake { step: 1 });
         Ok(())
     }
 
@@ -457,7 +464,7 @@ mod tests {
         assert_eq!(report.vmpl, Vmpl::Vmpl0);
         let user = DhKeyPair::from_seed(&[9; 32]);
         let user_secret = user.agree(&mon_pub);
-        monitor.complete_channel(&user.public).unwrap();
+        monitor.complete_channel(&mut hv, &user.public).unwrap();
         assert_eq!(monitor.channel_key(), Some(user_secret.0));
     }
 

@@ -28,6 +28,7 @@ use veil_snp::fault::{HaltReason, SnpError};
 use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::machine::Machine;
 use veil_snp::perms::Vmpl;
+use veil_trace::{exit_code, Event, VMPL_UNKNOWN};
 
 /// Per-VCPU hypervisor state: the per-domain VMSA registry.
 #[derive(Debug, Clone)]
@@ -106,7 +107,12 @@ pub enum HvResponse {
 
 /// Statistics the benches read (switch counts drive the paper's
 /// `C_ds × N_ds` runtime-cost analysis in §9.1).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Since the veil-trace refactor these are no longer separately-maintained
+/// counters: [`Hypervisor::stats`] computes them as a pure fold over the
+/// machine's event stream ([`veil_trace::EventCounters`]), so they can
+/// never disagree with the recorded trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HvStats {
     /// Total `VMGEXIT`s handled.
     pub vmgexits: u64,
@@ -123,7 +129,8 @@ pub struct HvStats {
 }
 
 /// One recorded VCPU transition, for protocol-sequence assertions
-/// (Fig. 3) and forensic inspection.
+/// (Fig. 3) and forensic inspection. A typed view over the
+/// [`veil_trace::Event::DomainSwitch`] records in the machine's trace ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchEvent {
     /// VCPU that transitioned.
@@ -148,47 +155,58 @@ pub struct Hypervisor {
     vcpus: Vec<VcpuSvm>,
     /// Behaviour policy.
     pub policy: HvPolicy,
-    stats: HvStats,
-    trace: Vec<SwitchEvent>,
-    trace_enabled: bool,
 }
 
 impl Hypervisor {
     /// Wraps a machine.
     pub fn new(machine: Machine) -> Self {
-        Hypervisor {
-            machine,
-            vcpus: Vec::new(),
-            policy: HvPolicy::default(),
-            stats: HvStats::default(),
-            trace: Vec::new(),
-            trace_enabled: false,
-        }
+        Hypervisor { machine, vcpus: Vec::new(), policy: HvPolicy::default() }
     }
 
-    /// Enables/disables switch tracing (off by default — long runs would
-    /// accumulate unbounded events).
+    /// Enables/disables event tracing on the underlying machine (off by
+    /// default — long runs would wrap the ring). Enabling resets the
+    /// recorded stream, so assertions see only events from this point on.
     pub fn set_trace(&mut self, enabled: bool) {
-        self.trace_enabled = enabled;
-        if !enabled {
-            self.trace.clear();
-        }
+        self.machine.tracer_mut().set_enabled(enabled);
     }
 
-    /// Recorded transitions since tracing was enabled.
-    pub fn trace(&self) -> &[SwitchEvent] {
-        &self.trace
+    /// Domain transitions recorded since tracing was enabled: the
+    /// `DomainSwitch` records of the machine's event ring, viewed as the
+    /// legacy [`SwitchEvent`] type.
+    pub fn trace(&self) -> Vec<SwitchEvent> {
+        self.machine
+            .tracer()
+            .records()
+            .filter_map(|r| match r.event {
+                Event::DomainSwitch { vcpu, from, to, user_ghcb, automatic } => Some(SwitchEvent {
+                    vcpu,
+                    from: Vmpl::from_index(from as usize)?,
+                    to: Vmpl::from_index(to as usize)?,
+                    user_ghcb,
+                    automatic,
+                }),
+                _ => None,
+            })
+            .collect()
     }
 
-    /// Clears the trace buffer.
+    /// Clears the recorded event stream (ring + digest) without toggling
+    /// the enable flag.
     pub fn clear_trace(&mut self) {
-        self.trace.clear();
+        self.machine.tracer_mut().clear();
     }
 
-    fn record(&mut self, event: SwitchEvent) {
-        if self.trace_enabled {
-            self.trace.push(event);
-        }
+    /// The executing VMPL of `vcpu_id` as a raw trace level.
+    fn trace_vmpl(&self, vcpu_id: u32) -> u8 {
+        self.vcpu(vcpu_id).map(|v| v.current_vmpl.index() as u8).unwrap_or(VMPL_UNKNOWN)
+    }
+
+    /// Records the re-entry of `vcpu_id` into its (possibly new) domain and
+    /// passes `resp` through — every non-halting `VMGEXIT` path ends here.
+    fn vmenter(&mut self, vcpu_id: u32, resp: HvResponse) -> Result<HvResponse, SnpError> {
+        let vmpl = self.trace_vmpl(vcpu_id);
+        self.machine.trace_event(Event::VmEnter { vcpu: vcpu_id, vmpl });
+        Ok(resp)
     }
 
     /// Loads a boot image (list of `(gfn, page)` pairs) through the
@@ -219,9 +237,17 @@ impl Hypervisor {
         Ok(digest)
     }
 
-    /// Statistics so far.
+    /// Statistics so far — a pure fold over the machine's event stream.
     pub fn stats(&self) -> HvStats {
-        self.stats
+        let c = self.machine.tracer().counters();
+        HvStats {
+            vmgexits: c.vmgexits,
+            domain_switches: c.domain_switches,
+            enclave_crossings: c.enclave_crossings,
+            automatic_exits: c.automatic_exits,
+            page_state_changes: c.page_state_changes,
+            io_exits: c.io_exits,
+        }
     }
 
     /// Immutable view of a VCPU's hypervisor state.
@@ -264,12 +290,20 @@ impl Hypervisor {
     /// paper identifies as a CVM crash (missing or unshared GHCB).
     pub fn vmgexit(&mut self, vcpu_id: u32, from_user_ghcb: bool) -> Result<HvResponse, SnpError> {
         self.machine.ensure_running()?;
-        self.stats.vmgexits += 1;
+        let exiting = self.trace_vmpl(vcpu_id);
+        let exit_event = |code: u64| Event::VmgExit {
+            vcpu: vcpu_id,
+            vmpl: exiting,
+            code,
+            user_ghcb: from_user_ghcb,
+            automatic: false,
+        };
         let ghcb_gfn = match self.machine.ghcb_msr(vcpu_id) {
             Some(g) => g,
             None => {
                 // No GHCB registered: the exit is unintelligible and the
                 // protocol wedges — the "incorrect GHCB mapping" crash.
+                self.machine.trace_event(exit_event(exit_code::UNKNOWN));
                 let reason =
                     HaltReason::SecurityViolation("VMGEXIT without a registered GHCB".into());
                 self.machine.halt(reason.clone());
@@ -281,23 +315,30 @@ impl Hypervisor {
             Err(_) => {
                 // GHCB not actually shared -> hypervisor cannot read it;
                 // §6.2: "the CVM crashes on an attempted domain switch".
+                self.machine.trace_event(exit_event(exit_code::UNKNOWN));
                 let reason =
                     HaltReason::SecurityViolation("GHCB page is not hypervisor-accessible".into());
                 self.machine.halt(reason.clone());
                 return Err(SnpError::Halted(reason));
             }
         };
-        let (exit, info1, info2) = match ghcb.read_request(&self.machine) {
+        let request = ghcb.read_request(&self.machine);
+        let code = request.map(|(e, _, _)| e.code()).unwrap_or(exit_code::UNKNOWN);
+        self.machine.trace_event(exit_event(code));
+        let (exit, info1, info2) = match request {
             Some(r) => r,
-            None => return Ok(HvResponse::Refused { reason: "undecodable exit code" }),
+            None => {
+                return self
+                    .vmenter(vcpu_id, HvResponse::Refused { reason: "undecodable exit code" })
+            }
         };
         match exit {
             GhcbExit::DomainSwitch => {
-                let target = match Vmpl::from_index(info1 as usize) {
-                    Some(t) => t,
-                    None => return Ok(HvResponse::Refused { reason: "bad target vmpl" }),
+                let resp = match Vmpl::from_index(info1 as usize) {
+                    Some(target) => self.relay_domain_switch(vcpu_id, target, from_user_ghcb),
+                    None => HvResponse::Refused { reason: "bad target vmpl" },
                 };
-                self.relay_domain_switch(vcpu_id, target, from_user_ghcb)
+                self.vmenter(vcpu_id, resp)
             }
             GhcbExit::PageStateChange => {
                 let gfn = info1;
@@ -308,17 +349,17 @@ impl Hypervisor {
                 } else {
                     self.machine.rmp_reclaim(gfn)
                 };
-                match outcome {
+                let resp = match outcome {
                     Ok(()) => {
-                        self.stats.page_state_changes += 1;
                         ghcb.write_response(&mut self.machine, 0);
-                        Ok(HvResponse::PageStateChanged)
+                        HvResponse::PageStateChanged
                     }
                     Err(_) => {
                         ghcb.write_response(&mut self.machine, 1);
-                        Ok(HvResponse::Refused { reason: "page state change rejected" })
+                        HvResponse::Refused { reason: "page state change rejected" }
                     }
-                }
+                };
+                self.vmenter(vcpu_id, resp)
             }
             GhcbExit::CreateVcpu => {
                 let vmsa_gfn = info1;
@@ -326,20 +367,23 @@ impl Hypervisor {
                 self.charge_exit_roundtrip(CostCategory::Other);
                 // The hypervisor verifies the frame really is a VMSA the
                 // guest prepared; it cannot read it, only reference it.
-                let vmpl = match self.machine.vmsa(vmsa_gfn) {
-                    Some(v) => v.vmpl(),
-                    None => return Ok(HvResponse::Refused { reason: "not a VMSA" }),
+                let resp = match self.machine.vmsa(vmsa_gfn) {
+                    Some(v) => {
+                        let vmpl = v.vmpl();
+                        self.register_domain_vmsa(new_vcpu_id, vmpl, vmsa_gfn);
+                        HvResponse::VcpuCreated
+                    }
+                    None => HvResponse::Refused { reason: "not a VMSA" },
                 };
-                self.register_domain_vmsa(new_vcpu_id, vmpl, vmsa_gfn);
-                Ok(HvResponse::VcpuCreated)
+                self.vmenter(vcpu_id, resp)
             }
             GhcbExit::Io | GhcbExit::Msr => {
                 self.charge_exit_roundtrip(CostCategory::KernelService);
-                self.stats.io_exits += 1;
                 ghcb.write_response(&mut self.machine, 0);
-                Ok(HvResponse::IoDone)
+                self.vmenter(vcpu_id, HvResponse::IoDone)
             }
             GhcbExit::Shutdown => {
+                // The machine halts; the guest never re-enters.
                 self.machine.halt(HaltReason::Shutdown);
                 Ok(HvResponse::ShutdownAccepted)
             }
@@ -353,13 +397,13 @@ impl Hypervisor {
         vcpu_id: u32,
         target: Vmpl,
         from_user_ghcb: bool,
-    ) -> Result<HvResponse, SnpError> {
+    ) -> HvResponse {
         let current = match self.vcpu(vcpu_id) {
             Some(v) => v.current_vmpl,
-            None => return Ok(HvResponse::Refused { reason: "unknown vcpu" }),
+            None => return HvResponse::Refused { reason: "unknown vcpu" },
         };
         if self.policy.refuse_switches {
-            return Ok(HvResponse::Refused { reason: "switch refused by host policy" });
+            return HvResponse::Refused { reason: "switch refused by host policy" };
         }
         if from_user_ghcb && self.policy.enforce_enclave_ghcb_scope {
             let allowed = matches!(
@@ -367,9 +411,7 @@ impl Hypervisor {
                 (Vmpl::Vmpl2, Vmpl::Vmpl3) | (Vmpl::Vmpl3, Vmpl::Vmpl2)
             );
             if !allowed {
-                return Ok(HvResponse::Refused {
-                    reason: "user GHCB limited to enclave crossings",
-                });
+                return HvResponse::Refused { reason: "user GHCB limited to enclave crossings" };
             }
         }
         // Malicious misrouting: resume a different domain's VMSA than the
@@ -382,7 +424,7 @@ impl Hypervisor {
         };
         let vmsa_gfn = match self.vcpu(vcpu_id).and_then(|v| v.domain_vmsas.get(&target)) {
             Some(g) => *g,
-            None => return Ok(HvResponse::Refused { reason: "no VMSA for target domain" }),
+            None => return HvResponse::Refused { reason: "no VMSA for target domain" },
         };
         if self.policy.tamper_vmsa_on_switch {
             // Malicious mode: try to scribble on the saved state. The VMSA
@@ -392,22 +434,20 @@ impl Hypervisor {
         let enclave_crossing = current == Vmpl::Vmpl2 || target == Vmpl::Vmpl2;
         let category =
             if enclave_crossing { CostCategory::EnclaveExit } else { CostCategory::DomainSwitch };
+        // The save/restore round trip is billed to the domain being left.
         self.charge_exit_roundtrip(category);
-        self.stats.domain_switches += 1;
-        if enclave_crossing {
-            self.stats.enclave_crossings += 1;
-        }
         if let Some(v) = self.vcpu_mut(vcpu_id) {
             v.current_vmpl = target;
         }
-        self.record(SwitchEvent {
+        self.machine.set_current_domain(target);
+        self.machine.trace_event(Event::DomainSwitch {
             vcpu: vcpu_id,
-            from: current,
-            to: target,
+            from: current.index() as u8,
+            to: target.index() as u8,
             user_ghcb: from_user_ghcb,
             automatic: false,
         });
-        Ok(HvResponse::Switched { vmpl: target, vmsa_gfn })
+        HvResponse::Switched { vmpl: target, vmsa_gfn }
     }
 
     fn charge_exit_roundtrip(&mut self, category: CostCategory) {
@@ -421,31 +461,46 @@ impl Hypervisor {
     /// field the interrupt (§6.2). Returns the domain that ends up
     /// running; `None` means the CVM halted.
     pub fn automatic_exit(&mut self, vcpu_id: u32) -> Option<Vmpl> {
-        self.stats.automatic_exits += 1;
+        let exiting = self.trace_vmpl(vcpu_id);
+        self.machine.trace_event(Event::VmgExit {
+            vcpu: vcpu_id,
+            vmpl: exiting,
+            code: exit_code::AUTOMATIC,
+            user_ghcb: false,
+            automatic: true,
+        });
         let current = self.vcpu(vcpu_id)?.current_vmpl;
         // Automatic exits skip the GHCB protocol but still save/restore.
         self.charge_exit_roundtrip(CostCategory::DomainSwitch);
         if current != Vmpl::Vmpl2 {
             // Kernel handles its own interrupts; nothing to redirect.
+            self.machine.trace_event(Event::VmEnter { vcpu: vcpu_id, vmpl: current.index() as u8 });
             return Some(current);
         }
         if self.policy.relay_interrupts_to_unt {
             let unt_vmsa = self.vcpu(vcpu_id)?.domain_vmsas.get(&Vmpl::Vmpl3).copied();
             match unt_vmsa {
                 Some(_) => {
-                    self.stats.domain_switches += 1;
-                    self.stats.enclave_crossings += 1;
                     self.vcpu_mut(vcpu_id).expect("exists").current_vmpl = Vmpl::Vmpl3;
-                    self.record(SwitchEvent {
+                    self.machine.set_current_domain(Vmpl::Vmpl3);
+                    self.machine.trace_event(Event::DomainSwitch {
                         vcpu: vcpu_id,
-                        from: Vmpl::Vmpl2,
-                        to: Vmpl::Vmpl3,
+                        from: Vmpl::Vmpl2.index() as u8,
+                        to: Vmpl::Vmpl3.index() as u8,
                         user_ghcb: false,
                         automatic: true,
                     });
+                    self.machine.trace_event(Event::VmEnter {
+                        vcpu: vcpu_id,
+                        vmpl: Vmpl::Vmpl3.index() as u8,
+                    });
                     Some(Vmpl::Vmpl3)
                 }
-                None => Some(current),
+                None => {
+                    self.machine
+                        .trace_event(Event::VmEnter { vcpu: vcpu_id, vmpl: current.index() as u8 });
+                    Some(current)
+                }
             }
         } else {
             // Malicious refusal: the enclave domain would have to run the

@@ -22,6 +22,7 @@ use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::mem::{gpa_of, PAGE_SIZE};
 use veil_snp::perms::{Cpl, Vmpl};
 use veil_snp::pt::{AddressSpace, PteFlags};
+use veil_trace::Event;
 
 /// Everything a kernel operation needs besides the kernel itself.
 pub struct KernelCtx<'a> {
@@ -221,6 +222,7 @@ impl Kernel {
         let rec = self.audit.make_record(pid, uid, sysno, ret, tsc);
         let record_cost = ctx.hv.machine.cost().audit_record;
         ctx.hv.machine.charge(CostCategory::AuditLog, record_cost);
+        ctx.hv.machine.trace_event(Event::AuditAppend { pid, sysno: sysno.num() as u32 });
         match self.audit.mode {
             AuditMode::Off => {}
             AuditMode::Kaudit => self.audit.kaudit_log.push(rec),
@@ -941,6 +943,11 @@ impl Kernel {
         }
         match result {
             Ok(()) => {
+                ctx.hv.machine.trace_event(Event::ModuleLoad {
+                    pages: text_pages as u32,
+                    protected: self.kci,
+                    load: true,
+                });
                 self.modules.insert(
                     image.name.clone(),
                     LoadedModule {
@@ -974,6 +981,11 @@ impl Kernel {
         }
         let prep = ctx.hv.machine.cost().module_page_load * module.text_gfns.len() as u64;
         ctx.hv.machine.charge(CostCategory::KernelService, prep);
+        ctx.hv.machine.trace_event(Event::ModuleLoad {
+            pages: module.text_gfns.len() as u32,
+            protected: module.kci_protected,
+            load: false,
+        });
         for gfn in module.text_gfns {
             self.frames.free(gfn);
         }

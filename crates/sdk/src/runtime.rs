@@ -25,6 +25,7 @@ use veil_services::Cvm;
 use veil_snp::cost::CostCategory;
 use veil_snp::perms::{Cpl, Vmpl};
 use veil_snp::pt::AddressSpace;
+use veil_trace::Event;
 
 /// Runtime statistics (drive the Fig. 4/5 harnesses).
 #[derive(Debug, Clone, Copy, Default)]
@@ -273,6 +274,11 @@ impl<'a> EnclaveSys<'a> {
         }
         self.rt.stats.syscalls += 1;
         self.rt.stage_cursor = 0;
+        self.cvm.hv.machine.trace_event(Event::SyscallRedirect {
+            vcpu: self.rt.vcpu,
+            pid: self.rt.handle.pid,
+            sysno: sysno.num() as u32,
+        });
         Ok(())
     }
 

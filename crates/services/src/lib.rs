@@ -177,6 +177,13 @@ impl CvmBuilder {
         self
     }
 
+    /// Toggle deterministic event tracing (see
+    /// [`veil_core::cvm::CvmBuilder::trace`]).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.inner = self.inner.trace(enabled);
+        self
+    }
+
     /// Builds the CVM.
     ///
     /// # Errors

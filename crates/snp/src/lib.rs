@@ -41,6 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use veil_trace as trace;
+
 pub mod attest;
 pub mod cost;
 pub mod fault;

@@ -15,6 +15,7 @@ use crate::perms::{Access, Cpl, Vmpl, VmplPerms};
 use crate::rmp::{PageState, Rmp};
 use crate::vmsa::Vmsa;
 use std::collections::BTreeMap;
+use veil_trace::{Event, Tracer};
 
 /// Configuration for a new [`Machine`].
 #[derive(Debug, Clone)]
@@ -52,6 +53,15 @@ pub struct Machine {
     launch_measurement: Option<[u8; 32]>,
     /// Per-VCPU GHCB MSR value (guest frame number of the GHCB).
     ghcb_msr: BTreeMap<u32, u64>,
+    tracer: Tracer,
+    /// Which privilege domain's code is currently executing. The flows are
+    /// sequential, so one machine-wide notion suffices; the hypervisor
+    /// updates it on every completed domain switch.
+    current_domain: Vmpl,
+    /// Cycles charged while each VMPL was the current domain. Every charge
+    /// goes through [`Machine::charge`], so the four buckets always sum to
+    /// [`CycleAccount::total`].
+    domain_cycles: [u64; 4],
 }
 
 impl Machine {
@@ -68,6 +78,9 @@ impl Machine {
             device_key,
             launch_measurement: None,
             ghcb_msr: BTreeMap::new(),
+            tracer: Tracer::new(),
+            current_domain: Vmpl::Vmpl0,
+            domain_cycles: [0; 4],
         }
     }
 
@@ -100,9 +113,47 @@ impl Machine {
         &self.cycles
     }
 
-    /// Charges `cycles` to `category`.
+    /// Charges `cycles` to `category`, attributing them to the current
+    /// privilege domain.
     pub fn charge(&mut self, category: CostCategory, cycles: u64) {
         self.cycles.charge(category, cycles);
+        self.domain_cycles[self.current_domain.index()] += cycles;
+    }
+
+    // ---- tracing --------------------------------------------------------
+
+    /// The event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (enable/disable/clear).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Records `event`, stamped with the current virtual-cycle total.
+    pub fn trace_event(&mut self, event: Event) {
+        let now = self.cycles.total();
+        self.tracer.record(now, event);
+    }
+
+    /// The privilege domain currently executing.
+    pub fn current_domain(&self) -> Vmpl {
+        self.current_domain
+    }
+
+    /// Sets the executing privilege domain (called by the hypervisor on
+    /// completed switches and by the boot handoff).
+    pub fn set_current_domain(&mut self, vmpl: Vmpl) {
+        self.current_domain = vmpl;
+    }
+
+    /// Cycles attributed to each VMPL (index = level). The switch cost is
+    /// charged to the *exiting* domain; the sum always equals
+    /// [`CycleAccount::total`].
+    pub fn domain_cycles(&self) -> [u64; 4] {
+        self.domain_cycles
     }
 
     /// Why the machine halted, if it has.
@@ -251,6 +302,7 @@ impl Machine {
         if !self.rmp.assign(gfn) {
             return Err(SnpError::ValidationMismatch { gfn });
         }
+        self.trace_event(Event::RmpTransition { gfn, to_private: true });
         Ok(())
     }
 
@@ -266,6 +318,7 @@ impl Machine {
         }
         self.mem.scrub_frame(gfn);
         self.vmsas.remove(&gfn);
+        self.trace_event(Event::RmpTransition { gfn, to_private: false });
         Ok(())
     }
 
@@ -294,6 +347,11 @@ impl Machine {
         if !self.rmp.set_validated(gfn, validated) {
             return Err(SnpError::ValidationMismatch { gfn });
         }
+        self.trace_event(Event::Pvalidate {
+            vmpl: executing.index() as u8,
+            gfn,
+            validate: validated,
+        });
         Ok(())
     }
 
@@ -320,6 +378,7 @@ impl Machine {
         }
         let entry = self.rmp.entry(gfn).ok_or(SnpError::OutOfRange { gfn })?;
         if entry.state() != PageState::Validated {
+            self.trace_event(Event::NestedPageFault { gfn, vmpl: executing.index() as u8 });
             return Err(SnpError::Npf(NestedPageFault {
                 gfn,
                 vmpl: executing,
@@ -328,12 +387,20 @@ impl Machine {
             }));
         }
         // The executor must itself hold every permission it grants.
-        if !entry.perms(executing).contains(perms) {
+        let held = entry.perms(executing);
+        if !held.contains(perms) {
             return Err(SnpError::PermEscalation);
         }
         let cycles = self.cost.rmpadjust_page();
         self.charge(CostCategory::Rmpadjust, cycles);
         self.rmp.set_perms(gfn, target, perms);
+        self.trace_event(Event::RmpAdjust {
+            executing: executing.index() as u8,
+            target: target.index() as u8,
+            gfn,
+            perms: perms.bits(),
+            executing_perms: held.bits(),
+        });
         Ok(())
     }
 
@@ -687,6 +754,37 @@ mod tests {
         let m = machine();
         assert_eq!(m.frames(), 64);
         assert_eq!(Machine::gpa(3), 3 * 4096);
+    }
+
+    #[test]
+    fn charge_attributes_to_current_domain() {
+        let mut m = machine();
+        assert_eq!(m.current_domain(), Vmpl::Vmpl0);
+        m.charge(CostCategory::Compute, 100);
+        m.set_current_domain(Vmpl::Vmpl3);
+        m.charge(CostCategory::KernelService, 50);
+        assert_eq!(m.domain_cycles()[0], 100);
+        assert_eq!(m.domain_cycles()[3], 50);
+        assert_eq!(m.domain_cycles().iter().sum::<u64>(), m.cycles().total());
+    }
+
+    #[test]
+    fn rmp_instructions_emit_trace_events() {
+        let mut m = machine();
+        m.tracer_mut().set_enabled(true);
+        validated(&mut m, 5); // assign + pvalidate + three rmpadjusts
+        let counters = *m.tracer().counters();
+        assert_eq!(counters.rmp_transitions, 1);
+        assert_eq!(counters.pvalidates, 1);
+        assert_eq!(counters.rmpadjusts, 3);
+        assert_eq!(m.tracer().len(), 5);
+        veil_trace::invariants::check(&m.tracer().snapshot()).unwrap();
+        // Counters keep folding when the ring is disabled...
+        m.tracer_mut().set_enabled(false);
+        m.rmp_assign(6).unwrap();
+        assert_eq!(m.tracer().counters().rmp_transitions, 2);
+        // ...but nothing new is recorded (the old ring stays for inspection).
+        assert_eq!(m.tracer().len(), 5);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   mean/p50/p99 over the deterministic `veil-snp::cost` cycle model,
 //!   with table and JSON output;
 //! * [`fmt`] — table/number formatting shared by the bench runner and
-//!   the `reproduce`/`inspect` binaries.
+//!   the `reproduce`/`inspect` binaries;
+//! * [`trace`] — table/JSON rendering of `veil-trace` event streams for
+//!   the `inspect trace` mode.
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +26,7 @@ pub mod bench;
 pub mod fmt;
 pub mod prop;
 pub mod rng;
+pub mod trace;
 
 pub use bench::{BenchGroup, BenchResult};
 pub use prop::Strategy;

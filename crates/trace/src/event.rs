@@ -1,0 +1,345 @@
+//! The typed event taxonomy and its canonical binary encoding.
+
+/// `VMGEXIT` exit-code constants mirrored from the GHCB protocol
+/// (`veil_snp::ghcb::GhcbExit`), plus trace-specific sentinels. Kept here as
+/// plain integers so this crate stays at the bottom of the dependency graph.
+pub mod exit_code {
+    /// Port/MMIO-style I/O request.
+    pub const IO: u64 = 0x7b;
+    /// MSR access emulation.
+    pub const MSR: u64 = 0x7c;
+    /// Page-state change request (private <-> shared).
+    pub const PAGE_STATE_CHANGE: u64 = 0x80000010;
+    /// Veil domain-switch hypercall.
+    pub const DOMAIN_SWITCH: u64 = 0x8000_f001;
+    /// Veil VCPU-creation hypercall.
+    pub const CREATE_VCPU: u64 = 0x8000_f002;
+    /// Guest shutdown request.
+    pub const SHUTDOWN: u64 = 0x8000_f0ff;
+    /// Automatic exit (hardware interrupt; SVM `VMEXIT_INTR`).
+    pub const AUTOMATIC: u64 = 0x60;
+    /// The exit carried no decodable request (missing/unshared/garbled GHCB).
+    pub const UNKNOWN: u64 = u64::MAX;
+}
+
+/// VMPL value recorded when the executing level is not known (e.g. a
+/// `VMGEXIT` from a VCPU the hypervisor has never seen).
+pub const VMPL_UNKNOWN: u8 = 0xff;
+
+/// A privileged transition observed by the simulator.
+///
+/// Fields are primitives (VMPLs as raw level numbers, permissions as raw
+/// bits) so events can be emitted from any layer and encoded canonically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Hypervisor-side `RMPUPDATE`: a page changed assignment state.
+    RmpTransition {
+        /// Guest frame number.
+        gfn: u64,
+        /// `true` = shared -> private (assign); `false` = reclaim to shared.
+        to_private: bool,
+    },
+    /// Guest `PVALIDATE` (successful; VMPL-0 only by architecture).
+    Pvalidate {
+        /// Executing VMPL (always 0 on success).
+        vmpl: u8,
+        /// Guest frame number.
+        gfn: u64,
+        /// `true` = validate, `false` = invalidate.
+        validate: bool,
+    },
+    /// Guest `RMPADJUST`: `executing` set the permissions of (`gfn`, `target`).
+    RmpAdjust {
+        /// Executing VMPL.
+        executing: u8,
+        /// Target VMPL whose permissions changed.
+        target: u8,
+        /// Guest frame number.
+        gfn: u64,
+        /// Permission bits granted.
+        perms: u8,
+        /// Permission bits the executor itself held on the page at the time
+        /// (lets the invariant checker prove no escalation happened).
+        executing_perms: u8,
+    },
+    /// A VCPU exited to the hypervisor.
+    VmgExit {
+        /// Exiting VCPU.
+        vcpu: u32,
+        /// VMPL that was executing ([`VMPL_UNKNOWN`] if the hypervisor has
+        /// no record of the VCPU).
+        vmpl: u8,
+        /// GHCB exit code (see [`exit_code`]).
+        code: u64,
+        /// Whether the request arrived through a user-mapped GHCB (§6.2).
+        user_ghcb: bool,
+        /// Whether this was an automatic exit (interrupt) rather than a
+        /// guest-requested `VMGEXIT`.
+        automatic: bool,
+    },
+    /// The hypervisor resumed a VCPU.
+    VmEnter {
+        /// Resumed VCPU.
+        vcpu: u32,
+        /// VMPL now executing.
+        vmpl: u8,
+    },
+    /// A completed domain switch (the VCPU resumed from a different
+    /// domain's VMSA).
+    DomainSwitch {
+        /// VCPU that transitioned.
+        vcpu: u32,
+        /// Domain it left.
+        from: u8,
+        /// Domain it entered.
+        to: u8,
+        /// Whether the request arrived through a user-mapped GHCB.
+        user_ghcb: bool,
+        /// Whether the switch was an interrupt relay rather than a
+        /// guest-requested switch.
+        automatic: bool,
+    },
+    /// A nested page fault raised by an RMP check.
+    NestedPageFault {
+        /// Faulting frame.
+        gfn: u64,
+        /// VMPL whose access faulted.
+        vmpl: u8,
+    },
+    /// An enclave syscall left `Dom_ENC` for the untrusted kernel (§6.2).
+    SyscallRedirect {
+        /// VCPU carrying the enclave thread.
+        vcpu: u32,
+        /// Host process id backing the enclave.
+        pid: u32,
+        /// Syscall number (Linux numbering).
+        sysno: u32,
+    },
+    /// An audit record was appended to the kernel's audit trail (§7).
+    AuditAppend {
+        /// Audited process.
+        pid: u32,
+        /// Audited syscall number.
+        sysno: u32,
+    },
+    /// A secure-channel handshake step completed (§5.1).
+    ChannelHandshake {
+        /// 0 = attestation + DH key published; 1 = peer key installed and
+        /// the session key derived.
+        step: u8,
+    },
+    /// A kernel module was loaded or unloaded (§7 / CS1).
+    ModuleLoad {
+        /// Module image size in pages.
+        pages: u32,
+        /// Whether VeilS-KCI protected the text (vs. native load).
+        protected: bool,
+        /// `true` = load, `false` = unload.
+        load: bool,
+    },
+}
+
+impl Event {
+    /// Canonical tag byte, the first byte of the event encoding.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Event::RmpTransition { .. } => 0,
+            Event::Pvalidate { .. } => 1,
+            Event::RmpAdjust { .. } => 2,
+            Event::VmgExit { .. } => 3,
+            Event::VmEnter { .. } => 4,
+            Event::DomainSwitch { .. } => 5,
+            Event::NestedPageFault { .. } => 6,
+            Event::SyscallRedirect { .. } => 7,
+            Event::AuditAppend { .. } => 8,
+            Event::ChannelHandshake { .. } => 9,
+            Event::ModuleLoad { .. } => 10,
+        }
+    }
+
+    /// Stable human-readable event name (table/JSON export).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RmpTransition { .. } => "rmp_transition",
+            Event::Pvalidate { .. } => "pvalidate",
+            Event::RmpAdjust { .. } => "rmpadjust",
+            Event::VmgExit { .. } => "vmgexit",
+            Event::VmEnter { .. } => "vmenter",
+            Event::DomainSwitch { .. } => "domain_switch",
+            Event::NestedPageFault { .. } => "nested_page_fault",
+            Event::SyscallRedirect { .. } => "syscall_redirect",
+            Event::AuditAppend { .. } => "audit_append",
+            Event::ChannelHandshake { .. } => "channel_handshake",
+            Event::ModuleLoad { .. } => "module_load",
+        }
+    }
+
+    /// Appends the canonical encoding (tag byte, then each field
+    /// little-endian in declaration order) to `buf`. This byte layout is
+    /// the contract behind [`crate::Tracer::digest`]: changing it breaks
+    /// every pinned golden digest, intentionally.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.push(self.tag());
+        match *self {
+            Event::RmpTransition { gfn, to_private } => {
+                buf.extend_from_slice(&gfn.to_le_bytes());
+                buf.push(to_private as u8);
+            }
+            Event::Pvalidate { vmpl, gfn, validate } => {
+                buf.push(vmpl);
+                buf.extend_from_slice(&gfn.to_le_bytes());
+                buf.push(validate as u8);
+            }
+            Event::RmpAdjust { executing, target, gfn, perms, executing_perms } => {
+                buf.push(executing);
+                buf.push(target);
+                buf.extend_from_slice(&gfn.to_le_bytes());
+                buf.push(perms);
+                buf.push(executing_perms);
+            }
+            Event::VmgExit { vcpu, vmpl, code, user_ghcb, automatic } => {
+                buf.extend_from_slice(&vcpu.to_le_bytes());
+                buf.push(vmpl);
+                buf.extend_from_slice(&code.to_le_bytes());
+                buf.push(user_ghcb as u8);
+                buf.push(automatic as u8);
+            }
+            Event::VmEnter { vcpu, vmpl } => {
+                buf.extend_from_slice(&vcpu.to_le_bytes());
+                buf.push(vmpl);
+            }
+            Event::DomainSwitch { vcpu, from, to, user_ghcb, automatic } => {
+                buf.extend_from_slice(&vcpu.to_le_bytes());
+                buf.push(from);
+                buf.push(to);
+                buf.push(user_ghcb as u8);
+                buf.push(automatic as u8);
+            }
+            Event::NestedPageFault { gfn, vmpl } => {
+                buf.extend_from_slice(&gfn.to_le_bytes());
+                buf.push(vmpl);
+            }
+            Event::SyscallRedirect { vcpu, pid, sysno } => {
+                buf.extend_from_slice(&vcpu.to_le_bytes());
+                buf.extend_from_slice(&pid.to_le_bytes());
+                buf.extend_from_slice(&sysno.to_le_bytes());
+            }
+            Event::AuditAppend { pid, sysno } => {
+                buf.extend_from_slice(&pid.to_le_bytes());
+                buf.extend_from_slice(&sysno.to_le_bytes());
+            }
+            Event::ChannelHandshake { step } => buf.push(step),
+            Event::ModuleLoad { pages, protected, load } => {
+                buf.extend_from_slice(&pages.to_le_bytes());
+                buf.push(protected as u8);
+                buf.push(load as u8);
+            }
+        }
+    }
+
+    /// Field name/value pairs for export. Values are rendered as JSON
+    /// literals (numbers and `true`/`false`), so they can be embedded in
+    /// JSON unquoted or joined as `k=v` for tables.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        match *self {
+            Event::RmpTransition { gfn, to_private } => {
+                vec![("gfn", gfn.to_string()), ("to_private", to_private.to_string())]
+            }
+            Event::Pvalidate { vmpl, gfn, validate } => vec![
+                ("vmpl", vmpl.to_string()),
+                ("gfn", gfn.to_string()),
+                ("validate", validate.to_string()),
+            ],
+            Event::RmpAdjust { executing, target, gfn, perms, executing_perms } => vec![
+                ("executing", executing.to_string()),
+                ("target", target.to_string()),
+                ("gfn", gfn.to_string()),
+                ("perms", perms.to_string()),
+                ("executing_perms", executing_perms.to_string()),
+            ],
+            Event::VmgExit { vcpu, vmpl, code, user_ghcb, automatic } => vec![
+                ("vcpu", vcpu.to_string()),
+                ("vmpl", vmpl.to_string()),
+                ("code", code.to_string()),
+                ("user_ghcb", user_ghcb.to_string()),
+                ("automatic", automatic.to_string()),
+            ],
+            Event::VmEnter { vcpu, vmpl } => {
+                vec![("vcpu", vcpu.to_string()), ("vmpl", vmpl.to_string())]
+            }
+            Event::DomainSwitch { vcpu, from, to, user_ghcb, automatic } => vec![
+                ("vcpu", vcpu.to_string()),
+                ("from", from.to_string()),
+                ("to", to.to_string()),
+                ("user_ghcb", user_ghcb.to_string()),
+                ("automatic", automatic.to_string()),
+            ],
+            Event::NestedPageFault { gfn, vmpl } => {
+                vec![("gfn", gfn.to_string()), ("vmpl", vmpl.to_string())]
+            }
+            Event::SyscallRedirect { vcpu, pid, sysno } => vec![
+                ("vcpu", vcpu.to_string()),
+                ("pid", pid.to_string()),
+                ("sysno", sysno.to_string()),
+            ],
+            Event::AuditAppend { pid, sysno } => {
+                vec![("pid", pid.to_string()), ("sysno", sysno.to_string())]
+            }
+            Event::ChannelHandshake { step } => vec![("step", step.to_string())],
+            Event::ModuleLoad { pages, protected, load } => vec![
+                ("pages", pages.to_string()),
+                ("protected", protected.to_string()),
+                ("load", load.to_string()),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct_and_stable() {
+        let events = [
+            Event::RmpTransition { gfn: 1, to_private: true },
+            Event::Pvalidate { vmpl: 0, gfn: 1, validate: true },
+            Event::RmpAdjust { executing: 0, target: 3, gfn: 1, perms: 3, executing_perms: 15 },
+            Event::VmgExit {
+                vcpu: 0,
+                vmpl: 3,
+                code: exit_code::IO,
+                user_ghcb: false,
+                automatic: false,
+            },
+            Event::VmEnter { vcpu: 0, vmpl: 3 },
+            Event::DomainSwitch { vcpu: 0, from: 3, to: 0, user_ghcb: false, automatic: false },
+            Event::NestedPageFault { gfn: 1, vmpl: 3 },
+            Event::SyscallRedirect { vcpu: 0, pid: 1, sysno: 0 },
+            Event::AuditAppend { pid: 1, sysno: 2 },
+            Event::ChannelHandshake { step: 0 },
+            Event::ModuleLoad { pages: 4, protected: true, load: true },
+        ];
+        let mut tags: Vec<u8> = events.iter().map(Event::tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), events.len(), "duplicate tag byte");
+        assert_eq!(tags, (0..11).collect::<Vec<u8>>(), "tags must stay dense and stable");
+    }
+
+    #[test]
+    fn encoding_starts_with_tag_and_is_field_order_stable() {
+        let ev = Event::DomainSwitch { vcpu: 7, from: 3, to: 0, user_ghcb: true, automatic: false };
+        let mut buf = Vec::new();
+        ev.encode_into(&mut buf);
+        assert_eq!(buf, vec![5, 7, 0, 0, 0, 3, 0, 1, 0]);
+    }
+
+    #[test]
+    fn fields_match_variant() {
+        let ev = Event::Pvalidate { vmpl: 0, gfn: 42, validate: true };
+        assert_eq!(ev.name(), "pvalidate");
+        let fields = ev.fields();
+        assert_eq!(fields[1], ("gfn", "42".to_string()));
+    }
+}

@@ -1,0 +1,249 @@
+//! The trace-invariant checker: structural well-formedness rules every
+//! honest execution must satisfy, checked over a recorded stream.
+
+use crate::event::{Event, VMPL_UNKNOWN};
+use crate::tracer::Record;
+use std::fmt;
+
+/// A violated invariant, pointing at the offending record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index into the checked slice.
+    pub index: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record {}: {}", self.index, self.reason)
+    }
+}
+
+/// Checks every trace invariant over `records` (stream order):
+///
+/// 1. **Monotonicity** — sequence numbers increase by exactly 1 and cycle
+///    timestamps never decrease.
+/// 2. **Switch bracketing** — every `DomainSwitch` on a VCPU sits between a
+///    `VmgExit` (from the `from` domain) and a `VmEnter` (into the `to`
+///    domain) on that same VCPU; no switch happens outside an exit window.
+/// 3. **No RMPADJUST escalation** — every recorded `RmpAdjust` was executed
+///    by a strictly more privileged VMPL than its target and granted only
+///    permissions the executor itself held on the page at the time.
+/// 4. **PVALIDATE privilege** — only VMPL-0 ever validates pages.
+///
+/// Returns the first violation found.
+///
+/// # Errors
+///
+/// [`Violation`] names the offending record index and the broken rule.
+pub fn check(records: &[Record]) -> Result<(), Violation> {
+    let fail = |index: usize, reason: String| Err(Violation { index, reason });
+    for (i, r) in records.iter().enumerate() {
+        // 1. Monotonic seq/cycles.
+        if i > 0 {
+            let prev = &records[i - 1];
+            if r.seq != prev.seq + 1 {
+                return fail(i, format!("seq jumped {} -> {}", prev.seq, r.seq));
+            }
+            if r.cycles < prev.cycles {
+                return fail(i, format!("cycles went backwards {} -> {}", prev.cycles, r.cycles));
+            }
+        }
+        match r.event {
+            // 2. Bracketing.
+            Event::DomainSwitch { vcpu, from, to, .. } => {
+                match nearest_marker(records, i, vcpu, Direction::Back) {
+                    Some(Event::VmgExit { vmpl, .. }) => {
+                        if vmpl != VMPL_UNKNOWN && vmpl != from {
+                            return fail(
+                                i,
+                                format!("switch from VMPL-{from} but the exit left VMPL-{vmpl}"),
+                            );
+                        }
+                    }
+                    other => {
+                        return fail(
+                            i,
+                            format!("domain switch not preceded by a VmgExit (found {other:?})"),
+                        )
+                    }
+                }
+                match nearest_marker(records, i, vcpu, Direction::Forward) {
+                    Some(Event::VmEnter { vmpl, .. }) => {
+                        if vmpl != to {
+                            return fail(
+                                i,
+                                format!("switch to VMPL-{to} but the VCPU re-entered VMPL-{vmpl}"),
+                            );
+                        }
+                    }
+                    other => {
+                        return fail(
+                            i,
+                            format!("domain switch not followed by a VmEnter (found {other:?})"),
+                        )
+                    }
+                }
+            }
+            // 3. No escalation.
+            Event::RmpAdjust { executing, target, gfn, perms, executing_perms } => {
+                if executing >= target {
+                    return fail(
+                        i,
+                        format!(
+                            "RMPADJUST on gfn {gfn}: VMPL-{executing} does not dominate \
+                             VMPL-{target}"
+                        ),
+                    );
+                }
+                if perms & !executing_perms != 0 {
+                    return fail(
+                        i,
+                        format!(
+                            "RMPADJUST escalation on gfn {gfn}: VMPL-{executing} granted bits \
+                             {perms:#06b} while holding {executing_perms:#06b}"
+                        ),
+                    );
+                }
+            }
+            // 4. PVALIDATE is VMPL-0-only.
+            Event::Pvalidate { vmpl, gfn, .. } if vmpl != 0 => {
+                return fail(i, format!("PVALIDATE of gfn {gfn} from VMPL-{vmpl}"));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+enum Direction {
+    Back,
+    Forward,
+}
+
+/// Nearest exit/enter/switch event on `vcpu` before or after `i`.
+fn nearest_marker(records: &[Record], i: usize, vcpu: u32, dir: Direction) -> Option<Event> {
+    let matches_vcpu = |e: &Event| match *e {
+        Event::VmgExit { vcpu: v, .. }
+        | Event::VmEnter { vcpu: v, .. }
+        | Event::DomainSwitch { vcpu: v, .. } => v == vcpu,
+        _ => false,
+    };
+    match dir {
+        Direction::Back => records[..i].iter().rev().map(|r| r.event).find(|e| matches_vcpu(e)),
+        Direction::Forward => records[i + 1..].iter().map(|r| r.event).find(|e| matches_vcpu(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::exit_code;
+
+    fn rec(seq: u64, cycles: u64, event: Event) -> Record {
+        Record { seq, cycles, event }
+    }
+
+    fn switch_flow() -> Vec<Record> {
+        vec![
+            rec(
+                0,
+                100,
+                Event::VmgExit {
+                    vcpu: 0,
+                    vmpl: 3,
+                    code: exit_code::DOMAIN_SWITCH,
+                    user_ghcb: false,
+                    automatic: false,
+                },
+            ),
+            rec(
+                1,
+                7235,
+                Event::DomainSwitch { vcpu: 0, from: 3, to: 0, user_ghcb: false, automatic: false },
+            ),
+            rec(2, 7235, Event::VmEnter { vcpu: 0, vmpl: 0 }),
+        ]
+    }
+
+    #[test]
+    fn well_formed_flow_passes() {
+        check(&switch_flow()).unwrap();
+    }
+
+    #[test]
+    fn unbracketed_switch_fails() {
+        let mut flow = switch_flow();
+        flow.remove(0);
+        // Re-number so the monotonicity rule is not the one that trips.
+        for (i, r) in flow.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        let err = check(&flow).unwrap_err();
+        assert!(err.reason.contains("not preceded"), "{err}");
+    }
+
+    #[test]
+    fn wrong_reentry_domain_fails() {
+        let mut flow = switch_flow();
+        flow[2].event = Event::VmEnter { vcpu: 0, vmpl: 2 };
+        let err = check(&flow).unwrap_err();
+        assert!(err.reason.contains("re-entered"), "{err}");
+    }
+
+    #[test]
+    fn escalating_rmpadjust_fails() {
+        let records = [rec(
+            0,
+            10,
+            Event::RmpAdjust {
+                executing: 1,
+                target: 2,
+                gfn: 9,
+                perms: 0b0011,
+                executing_perms: 0b0001,
+            },
+        )];
+        let err = check(&records).unwrap_err();
+        assert!(err.reason.contains("escalation"), "{err}");
+        let ok = [rec(
+            0,
+            10,
+            Event::RmpAdjust {
+                executing: 1,
+                target: 2,
+                gfn: 9,
+                perms: 0b0001,
+                executing_perms: 0b0011,
+            },
+        )];
+        check(&ok).unwrap();
+    }
+
+    #[test]
+    fn non_dominating_rmpadjust_fails() {
+        let records = [rec(
+            0,
+            10,
+            Event::RmpAdjust { executing: 2, target: 2, gfn: 9, perms: 0, executing_perms: 0b1111 },
+        )];
+        assert!(check(&records).is_err());
+    }
+
+    #[test]
+    fn pvalidate_from_low_vmpl_fails() {
+        let records = [rec(0, 10, Event::Pvalidate { vmpl: 3, gfn: 5, validate: true })];
+        assert!(check(&records).is_err());
+    }
+
+    #[test]
+    fn nonmonotonic_stream_fails() {
+        let mut flow = switch_flow();
+        flow[2].cycles = 1;
+        assert!(check(&flow).is_err());
+        let mut flow = switch_flow();
+        flow[1].seq = 5;
+        assert!(check(&flow).is_err());
+    }
+}

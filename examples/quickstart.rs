@@ -52,7 +52,7 @@ fn main() {
     let (report, mon_pub) = cvm.gate.monitor.begin_channel(&mut cvm.hv).unwrap();
     let channel = user.verify_and_derive(&report, &mon_pub);
     println!("\nremote user verified VeilMon's attestation: {}", channel.is_ok());
-    cvm.gate.monitor.complete_channel(&user.public()).unwrap();
+    cvm.gate.monitor.complete_channel(&mut cvm.hv, &user.public()).unwrap();
     println!("secure channel established with Dom_MON");
 
     println!("\nquickstart complete — see the other examples for the protected services.");

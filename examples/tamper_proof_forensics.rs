@@ -21,7 +21,7 @@ fn main() {
     let analyst = RemoteUser::new(cvm.hv.machine.device_verification_key(), Some(golden), &[9; 32]);
     let (report, mon_pub) = cvm.gate.monitor.begin_channel(&mut cvm.hv).unwrap();
     let mut analyst_chan = analyst.verify_and_derive(&report, &mon_pub).expect("attestation");
-    cvm.gate.monitor.complete_channel(&analyst.public()).unwrap();
+    cvm.gate.monitor.complete_channel(&mut cvm.hv, &analyst.public()).unwrap();
     let mut service_chan = SecureChannel::new(cvm.gate.monitor.channel_key().unwrap());
     println!("analyst channel established after attestation");
 

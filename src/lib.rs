@@ -21,6 +21,7 @@ pub use veil_os as os;
 pub use veil_sdk as sdk;
 pub use veil_services as services;
 pub use veil_snp as snp;
+pub use veil_trace as trace;
 pub use veil_workloads as workloads;
 
 /// Common imports for examples and tests.

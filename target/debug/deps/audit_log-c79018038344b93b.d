@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_log-c79018038344b93b.d: crates/bench/benches/audit_log.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_log-c79018038344b93b.rmeta: crates/bench/benches/audit_log.rs Cargo.toml
+
+crates/bench/benches/audit_log.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

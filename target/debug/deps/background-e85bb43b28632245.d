@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/background-e85bb43b28632245.d: crates/bench/benches/background.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackground-e85bb43b28632245.rmeta: crates/bench/benches/background.rs Cargo.toml
+
+crates/bench/benches/background.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

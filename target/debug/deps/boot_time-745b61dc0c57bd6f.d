@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boot_time-745b61dc0c57bd6f.d: crates/bench/benches/boot_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboot_time-745b61dc0c57bd6f.rmeta: crates/bench/benches/boot_time.rs Cargo.toml
+
+crates/bench/benches/boot_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enclave_apps-3015516926fd48cc.d: crates/bench/benches/enclave_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenclave_apps-3015516926fd48cc.rmeta: crates/bench/benches/enclave_apps.rs Cargo.toml
+
+crates/bench/benches/enclave_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

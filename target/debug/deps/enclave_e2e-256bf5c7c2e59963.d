@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enclave_e2e-256bf5c7c2e59963.d: crates/sdk/tests/enclave_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenclave_e2e-256bf5c7c2e59963.rmeta: crates/sdk/tests/enclave_e2e.rs Cargo.toml
+
+crates/sdk/tests/enclave_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enclave_e2e-f6bfff266f336a67.d: crates/sdk/tests/enclave_e2e.rs
+
+/root/repo/target/debug/deps/enclave_e2e-f6bfff266f336a67: crates/sdk/tests/enclave_e2e.rs
+
+crates/sdk/tests/enclave_e2e.rs:

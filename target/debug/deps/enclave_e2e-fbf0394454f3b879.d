@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enclave_e2e-fbf0394454f3b879.d: crates/sdk/tests/enclave_e2e.rs
+
+/root/repo/target/debug/deps/enclave_e2e-fbf0394454f3b879: crates/sdk/tests/enclave_e2e.rs
+
+crates/sdk/tests/enclave_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-89d1b822f2338255.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-89d1b822f2338255: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a376bf57176bbb72.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a376bf57176bbb72: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_regression-50b3c1d40bc81ee5.d: tests/experiments_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_regression-50b3c1d40bc81ee5.rmeta: tests/experiments_regression.rs Cargo.toml
+
+tests/experiments_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

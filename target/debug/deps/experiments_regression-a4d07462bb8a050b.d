@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_regression-a4d07462bb8a050b.d: tests/experiments_regression.rs
+
+/root/repo/target/debug/deps/experiments_regression-a4d07462bb8a050b: tests/experiments_regression.rs
+
+tests/experiments_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_regression-a88e1af66907b277.d: tests/experiments_regression.rs
+
+/root/repo/target/debug/deps/experiments_regression-a88e1af66907b277: tests/experiments_regression.rs
+
+tests/experiments_regression.rs:

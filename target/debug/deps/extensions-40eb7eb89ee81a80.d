@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-40eb7eb89ee81a80.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-40eb7eb89ee81a80: tests/extensions.rs
+
+tests/extensions.rs:

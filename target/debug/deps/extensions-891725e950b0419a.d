@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-891725e950b0419a.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-891725e950b0419a.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b161a01ab3029cfd.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b161a01ab3029cfd: tests/extensions.rs
+
+tests/extensions.rs:

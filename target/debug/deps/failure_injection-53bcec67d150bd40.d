@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-53bcec67d150bd40.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-53bcec67d150bd40: tests/failure_injection.rs
+
+tests/failure_injection.rs:

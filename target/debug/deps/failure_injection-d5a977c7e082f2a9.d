@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-d5a977c7e082f2a9.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-d5a977c7e082f2a9: tests/failure_injection.rs
+
+tests/failure_injection.rs:

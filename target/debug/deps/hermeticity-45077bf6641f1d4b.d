@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hermeticity-45077bf6641f1d4b.d: tests/hermeticity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermeticity-45077bf6641f1d4b.rmeta: tests/hermeticity.rs Cargo.toml
+
+tests/hermeticity.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hermeticity-530e6d9e16225ebe.d: tests/hermeticity.rs
+
+/root/repo/target/debug/deps/hermeticity-530e6d9e16225ebe: tests/hermeticity.rs
+
+tests/hermeticity.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hermeticity-d5e1b88ab121b35a.d: tests/hermeticity.rs
+
+/root/repo/target/debug/deps/hermeticity-d5e1b88ab121b35a: tests/hermeticity.rs
+
+tests/hermeticity.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inspect-0fefdadac493a32e.d: crates/bench/src/bin/inspect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinspect-0fefdadac493a32e.rmeta: crates/bench/src/bin/inspect.rs Cargo.toml
+
+crates/bench/src/bin/inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-31137d441bb4e465.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-31137d441bb4e465: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-76073f23144383bb.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-76073f23144383bb: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

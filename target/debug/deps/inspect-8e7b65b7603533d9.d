@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-8e7b65b7603533d9.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-8e7b65b7603533d9: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

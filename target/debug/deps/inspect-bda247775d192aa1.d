@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-bda247775d192aa1.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-bda247775d192aa1: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

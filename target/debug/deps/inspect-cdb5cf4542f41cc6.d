@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-cdb5cf4542f41cc6.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-cdb5cf4542f41cc6: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ltp_suite-ed0bee8d19ed2152.d: tests/ltp_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libltp_suite-ed0bee8d19ed2152.rmeta: tests/ltp_suite.rs Cargo.toml
+
+tests/ltp_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

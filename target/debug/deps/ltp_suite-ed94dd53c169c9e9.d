@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ltp_suite-ed94dd53c169c9e9.d: tests/ltp_suite.rs
+
+/root/repo/target/debug/deps/ltp_suite-ed94dd53c169c9e9: tests/ltp_suite.rs
+
+tests/ltp_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ltp_suite-f0cdb9bb2fc00ee5.d: tests/ltp_suite.rs
+
+/root/repo/target/debug/deps/ltp_suite-f0cdb9bb2fc00ee5: tests/ltp_suite.rs
+
+tests/ltp_suite.rs:

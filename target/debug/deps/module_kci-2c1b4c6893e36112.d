@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/module_kci-2c1b4c6893e36112.d: crates/bench/benches/module_kci.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodule_kci-2c1b4c6893e36112.rmeta: crates/bench/benches/module_kci.rs Cargo.toml
+
+crates/bench/benches/module_kci.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-240e55c24cc312d2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-240e55c24cc312d2: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8fd7d0334aa599f5.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8fd7d0334aa599f5: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_trace-2693a30a040f41f9.d: tests/protocol_trace.rs
+
+/root/repo/target/debug/deps/protocol_trace-2693a30a040f41f9: tests/protocol_trace.rs
+
+tests/protocol_trace.rs:

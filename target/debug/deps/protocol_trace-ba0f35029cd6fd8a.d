@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_trace-ba0f35029cd6fd8a.d: tests/protocol_trace.rs
+
+/root/repo/target/debug/deps/protocol_trace-ba0f35029cd6fd8a: tests/protocol_trace.rs
+
+tests/protocol_trace.rs:

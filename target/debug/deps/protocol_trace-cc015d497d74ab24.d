@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_trace-cc015d497d74ab24.d: tests/protocol_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_trace-cc015d497d74ab24.rmeta: tests/protocol_trace.rs Cargo.toml
+
+tests/protocol_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

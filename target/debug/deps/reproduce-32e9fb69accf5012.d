@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-32e9fb69accf5012.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-32e9fb69accf5012: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

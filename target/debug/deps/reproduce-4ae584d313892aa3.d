@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-4ae584d313892aa3.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-4ae584d313892aa3: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

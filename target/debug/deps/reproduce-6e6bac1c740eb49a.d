@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-6e6bac1c740eb49a.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-6e6bac1c740eb49a: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-71a61281cca1bc9c.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-71a61281cca1bc9c: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-dd66c4d6c49c92f6.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-dd66c4d6c49c92f6: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_enclave-843c5092b720432b.d: tests/security_enclave.rs
+
+/root/repo/target/debug/deps/security_enclave-843c5092b720432b: tests/security_enclave.rs
+
+tests/security_enclave.rs:

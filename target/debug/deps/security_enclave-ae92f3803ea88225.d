@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_enclave-ae92f3803ea88225.d: tests/security_enclave.rs
+
+/root/repo/target/debug/deps/security_enclave-ae92f3803ea88225: tests/security_enclave.rs
+
+tests/security_enclave.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_enclave-bfe5b9cbc384af38.d: tests/security_enclave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_enclave-bfe5b9cbc384af38.rmeta: tests/security_enclave.rs Cargo.toml
+
+tests/security_enclave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_framework-07f5ddecaedf1301.d: tests/security_framework.rs
+
+/root/repo/target/debug/deps/security_framework-07f5ddecaedf1301: tests/security_framework.rs
+
+tests/security_framework.rs:

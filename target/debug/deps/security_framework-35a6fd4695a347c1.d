@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_framework-35a6fd4695a347c1.d: tests/security_framework.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_framework-35a6fd4695a347c1.rmeta: tests/security_framework.rs Cargo.toml
+
+tests/security_framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_framework-e27b691b8d797e11.d: tests/security_framework.rs
+
+/root/repo/target/debug/deps/security_framework-e27b691b8d797e11: tests/security_framework.rs
+
+tests/security_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_validation-2ac2e1309ea91f63.d: tests/security_validation.rs
+
+/root/repo/target/debug/deps/security_validation-2ac2e1309ea91f63: tests/security_validation.rs
+
+tests/security_validation.rs:

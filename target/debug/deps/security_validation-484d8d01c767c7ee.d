@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_validation-484d8d01c767c7ee.d: tests/security_validation.rs
+
+/root/repo/target/debug/deps/security_validation-484d8d01c767c7ee: tests/security_validation.rs
+
+tests/security_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_validation-ae8dc9624f61aa4e.d: tests/security_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_validation-ae8dc9624f61aa4e.rmeta: tests/security_validation.rs Cargo.toml
+
+tests/security_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/syscall_redirect-e3c4126d6e8a1515.d: crates/bench/benches/syscall_redirect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsyscall_redirect-e3c4126d6e8a1515.rmeta: crates/bench/benches/syscall_redirect.rs Cargo.toml
+
+crates/bench/benches/syscall_redirect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_invariants-3c9d597351ea711d.d: tests/trace_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_invariants-3c9d597351ea711d.rmeta: tests/trace_invariants.rs Cargo.toml
+
+tests/trace_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

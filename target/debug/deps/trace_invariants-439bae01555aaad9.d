@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_invariants-439bae01555aaad9.d: tests/trace_invariants.rs
+
+/root/repo/target/debug/deps/trace_invariants-439bae01555aaad9: tests/trace_invariants.rs
+
+tests/trace_invariants.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veil-27bf8081ca438bc2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libveil-27bf8081ca438bc2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libveil-27bf8081ca438bc2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veil-39b34d76239115c5.d: src/lib.rs
+
+/root/repo/target/debug/deps/veil-39b34d76239115c5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veil-4df9de3e9f7b673b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libveil-4df9de3e9f7b673b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libveil-4df9de3e9f7b673b.rmeta: src/lib.rs
+
+src/lib.rs:

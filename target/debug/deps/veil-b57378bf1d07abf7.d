@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/veil-b57378bf1d07abf7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil-b57378bf1d07abf7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

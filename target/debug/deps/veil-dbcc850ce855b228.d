@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veil-dbcc850ce855b228.d: src/lib.rs
+
+/root/repo/target/debug/deps/veil-dbcc850ce855b228: src/lib.rs
+
+src/lib.rs:

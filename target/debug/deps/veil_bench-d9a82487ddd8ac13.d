@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veil_bench-d9a82487ddd8ac13.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/veil_bench-d9a82487ddd8ac13: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:

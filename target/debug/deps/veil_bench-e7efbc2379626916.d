@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/veil_bench-e7efbc2379626916.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_bench-e7efbc2379626916.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/veil_core-48ee048a4cd21d94.d: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_core-48ee048a4cd21d94.rmeta: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cvm.rs:
+crates/core/src/domain.rs:
+crates/core/src/gate.rs:
+crates/core/src/idcb.rs:
+crates/core/src/layout.rs:
+crates/core/src/monitor.rs:
+crates/core/src/remote.rs:
+crates/core/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/veil_core-4a645d679b36a9b3.d: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+/root/repo/target/debug/deps/veil_core-4a645d679b36a9b3: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cvm.rs:
+crates/core/src/domain.rs:
+crates/core/src/gate.rs:
+crates/core/src/idcb.rs:
+crates/core/src/layout.rs:
+crates/core/src/monitor.rs:
+crates/core/src/remote.rs:
+crates/core/src/service.rs:

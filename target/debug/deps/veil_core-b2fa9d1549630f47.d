@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/veil_core-b2fa9d1549630f47.d: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+/root/repo/target/debug/deps/libveil_core-b2fa9d1549630f47.rlib: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+/root/repo/target/debug/deps/libveil_core-b2fa9d1549630f47.rmeta: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cvm.rs:
+crates/core/src/domain.rs:
+crates/core/src/gate.rs:
+crates/core/src/idcb.rs:
+crates/core/src/layout.rs:
+crates/core/src/monitor.rs:
+crates/core/src/remote.rs:
+crates/core/src/service.rs:

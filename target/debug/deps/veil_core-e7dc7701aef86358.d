@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/veil_core-e7dc7701aef86358.d: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+/root/repo/target/debug/deps/libveil_core-e7dc7701aef86358.rlib: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+/root/repo/target/debug/deps/libveil_core-e7dc7701aef86358.rmeta: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cvm.rs:
+crates/core/src/domain.rs:
+crates/core/src/gate.rs:
+crates/core/src/idcb.rs:
+crates/core/src/layout.rs:
+crates/core/src/monitor.rs:
+crates/core/src/remote.rs:
+crates/core/src/service.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veil_hv-5e762af962356eef.d: crates/hv/src/lib.rs
+
+/root/repo/target/debug/deps/libveil_hv-5e762af962356eef.rlib: crates/hv/src/lib.rs
+
+/root/repo/target/debug/deps/libveil_hv-5e762af962356eef.rmeta: crates/hv/src/lib.rs
+
+crates/hv/src/lib.rs:

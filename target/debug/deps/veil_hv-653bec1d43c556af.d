@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veil_hv-653bec1d43c556af.d: crates/hv/src/lib.rs
+
+/root/repo/target/debug/deps/veil_hv-653bec1d43c556af: crates/hv/src/lib.rs
+
+crates/hv/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/veil_hv-7a01240a53396c5d.d: crates/hv/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_hv-7a01240a53396c5d.rmeta: crates/hv/src/lib.rs Cargo.toml
+
+crates/hv/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

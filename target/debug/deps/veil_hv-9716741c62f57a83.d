@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/veil_hv-9716741c62f57a83.d: crates/hv/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_hv-9716741c62f57a83.rmeta: crates/hv/src/lib.rs Cargo.toml
+
+crates/hv/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

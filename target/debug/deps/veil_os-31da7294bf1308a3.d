@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/veil_os-31da7294bf1308a3.d: crates/os/src/lib.rs crates/os/src/audit.rs crates/os/src/error.rs crates/os/src/frames.rs crates/os/src/kernel.rs crates/os/src/module.rs crates/os/src/monitor.rs crates/os/src/process.rs crates/os/src/socket.rs crates/os/src/sys.rs crates/os/src/syscall.rs crates/os/src/vfs.rs
+
+/root/repo/target/debug/deps/veil_os-31da7294bf1308a3: crates/os/src/lib.rs crates/os/src/audit.rs crates/os/src/error.rs crates/os/src/frames.rs crates/os/src/kernel.rs crates/os/src/module.rs crates/os/src/monitor.rs crates/os/src/process.rs crates/os/src/socket.rs crates/os/src/sys.rs crates/os/src/syscall.rs crates/os/src/vfs.rs
+
+crates/os/src/lib.rs:
+crates/os/src/audit.rs:
+crates/os/src/error.rs:
+crates/os/src/frames.rs:
+crates/os/src/kernel.rs:
+crates/os/src/module.rs:
+crates/os/src/monitor.rs:
+crates/os/src/process.rs:
+crates/os/src/socket.rs:
+crates/os/src/sys.rs:
+crates/os/src/syscall.rs:
+crates/os/src/vfs.rs:

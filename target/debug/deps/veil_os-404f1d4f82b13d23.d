@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/veil_os-404f1d4f82b13d23.d: crates/os/src/lib.rs crates/os/src/audit.rs crates/os/src/error.rs crates/os/src/frames.rs crates/os/src/kernel.rs crates/os/src/module.rs crates/os/src/monitor.rs crates/os/src/process.rs crates/os/src/socket.rs crates/os/src/sys.rs crates/os/src/syscall.rs crates/os/src/vfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_os-404f1d4f82b13d23.rmeta: crates/os/src/lib.rs crates/os/src/audit.rs crates/os/src/error.rs crates/os/src/frames.rs crates/os/src/kernel.rs crates/os/src/module.rs crates/os/src/monitor.rs crates/os/src/process.rs crates/os/src/socket.rs crates/os/src/sys.rs crates/os/src/syscall.rs crates/os/src/vfs.rs Cargo.toml
+
+crates/os/src/lib.rs:
+crates/os/src/audit.rs:
+crates/os/src/error.rs:
+crates/os/src/frames.rs:
+crates/os/src/kernel.rs:
+crates/os/src/module.rs:
+crates/os/src/monitor.rs:
+crates/os/src/process.rs:
+crates/os/src/socket.rs:
+crates/os/src/sys.rs:
+crates/os/src/syscall.rs:
+crates/os/src/vfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/veil_os-f8fe3dfe3cd71335.d: crates/os/src/lib.rs crates/os/src/audit.rs crates/os/src/error.rs crates/os/src/frames.rs crates/os/src/kernel.rs crates/os/src/module.rs crates/os/src/monitor.rs crates/os/src/process.rs crates/os/src/socket.rs crates/os/src/sys.rs crates/os/src/syscall.rs crates/os/src/vfs.rs
+
+/root/repo/target/debug/deps/libveil_os-f8fe3dfe3cd71335.rlib: crates/os/src/lib.rs crates/os/src/audit.rs crates/os/src/error.rs crates/os/src/frames.rs crates/os/src/kernel.rs crates/os/src/module.rs crates/os/src/monitor.rs crates/os/src/process.rs crates/os/src/socket.rs crates/os/src/sys.rs crates/os/src/syscall.rs crates/os/src/vfs.rs
+
+/root/repo/target/debug/deps/libveil_os-f8fe3dfe3cd71335.rmeta: crates/os/src/lib.rs crates/os/src/audit.rs crates/os/src/error.rs crates/os/src/frames.rs crates/os/src/kernel.rs crates/os/src/module.rs crates/os/src/monitor.rs crates/os/src/process.rs crates/os/src/socket.rs crates/os/src/sys.rs crates/os/src/syscall.rs crates/os/src/vfs.rs
+
+crates/os/src/lib.rs:
+crates/os/src/audit.rs:
+crates/os/src/error.rs:
+crates/os/src/frames.rs:
+crates/os/src/kernel.rs:
+crates/os/src/module.rs:
+crates/os/src/monitor.rs:
+crates/os/src/process.rs:
+crates/os/src/socket.rs:
+crates/os/src/sys.rs:
+crates/os/src/syscall.rs:
+crates/os/src/vfs.rs:

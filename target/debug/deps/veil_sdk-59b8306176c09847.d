@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/veil_sdk-59b8306176c09847.d: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs
+
+/root/repo/target/debug/deps/veil_sdk-59b8306176c09847: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs
+
+crates/sdk/src/lib.rs:
+crates/sdk/src/batch.rs:
+crates/sdk/src/binary.rs:
+crates/sdk/src/heap.rs:
+crates/sdk/src/install.rs:
+crates/sdk/src/ltp.rs:
+crates/sdk/src/runtime.rs:
+crates/sdk/src/spec.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/veil_sdk-6694a434a84f95bb.d: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_sdk-6694a434a84f95bb.rmeta: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs Cargo.toml
+
+crates/sdk/src/lib.rs:
+crates/sdk/src/batch.rs:
+crates/sdk/src/binary.rs:
+crates/sdk/src/heap.rs:
+crates/sdk/src/install.rs:
+crates/sdk/src/ltp.rs:
+crates/sdk/src/runtime.rs:
+crates/sdk/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/veil_sdk-f69c22b22c0abb39.d: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs
+
+/root/repo/target/debug/deps/libveil_sdk-f69c22b22c0abb39.rlib: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs
+
+/root/repo/target/debug/deps/libveil_sdk-f69c22b22c0abb39.rmeta: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs
+
+crates/sdk/src/lib.rs:
+crates/sdk/src/batch.rs:
+crates/sdk/src/binary.rs:
+crates/sdk/src/heap.rs:
+crates/sdk/src/install.rs:
+crates/sdk/src/ltp.rs:
+crates/sdk/src/runtime.rs:
+crates/sdk/src/spec.rs:

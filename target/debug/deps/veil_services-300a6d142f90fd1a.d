@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/veil_services-300a6d142f90fd1a.d: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/debug/deps/veil_services-300a6d142f90fd1a: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+crates/services/src/lib.rs:
+crates/services/src/enc.rs:
+crates/services/src/kci.rs:
+crates/services/src/log.rs:

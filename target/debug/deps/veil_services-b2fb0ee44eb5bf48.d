@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/veil_services-b2fb0ee44eb5bf48.d: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_services-b2fb0ee44eb5bf48.rmeta: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs Cargo.toml
+
+crates/services/src/lib.rs:
+crates/services/src/enc.rs:
+crates/services/src/kci.rs:
+crates/services/src/log.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veil_services-cddf80ddb341941e.d: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/debug/deps/libveil_services-cddf80ddb341941e.rlib: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/debug/deps/libveil_services-cddf80ddb341941e.rmeta: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+crates/services/src/lib.rs:
+crates/services/src/enc.rs:
+crates/services/src/kci.rs:
+crates/services/src/log.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veil_services-f99b3b27256e9bf8.d: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/debug/deps/libveil_services-f99b3b27256e9bf8.rlib: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/debug/deps/libveil_services-f99b3b27256e9bf8.rmeta: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+crates/services/src/lib.rs:
+crates/services/src/enc.rs:
+crates/services/src/kci.rs:
+crates/services/src/log.rs:

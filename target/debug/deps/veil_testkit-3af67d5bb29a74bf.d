@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/veil_testkit-3af67d5bb29a74bf.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/trace.rs
+
+/root/repo/target/debug/deps/libveil_testkit-3af67d5bb29a74bf.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/trace.rs
+
+/root/repo/target/debug/deps/libveil_testkit-3af67d5bb29a74bf.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/trace.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/fmt.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/trace.rs:

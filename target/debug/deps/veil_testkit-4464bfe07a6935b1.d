@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veil_testkit-4464bfe07a6935b1.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/trace.rs
+
+/root/repo/target/debug/deps/veil_testkit-4464bfe07a6935b1: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/trace.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/fmt.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/trace.rs:

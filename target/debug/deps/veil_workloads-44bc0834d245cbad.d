@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/veil_workloads-44bc0834d245cbad.d: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveil_workloads-44bc0834d245cbad.rmeta: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/http.rs:
+crates/workloads/src/kvstore.rs:
+crates/workloads/src/mbedtls.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/minidb.rs:
+crates/workloads/src/openssl.rs:
+crates/workloads/src/spec_cpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

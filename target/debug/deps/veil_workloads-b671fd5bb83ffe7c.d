@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/veil_workloads-b671fd5bb83ffe7c.d: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs
+
+/root/repo/target/debug/deps/veil_workloads-b671fd5bb83ffe7c: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/http.rs:
+crates/workloads/src/kvstore.rs:
+crates/workloads/src/mbedtls.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/minidb.rs:
+crates/workloads/src/openssl.rs:
+crates/workloads/src/spec_cpu.rs:

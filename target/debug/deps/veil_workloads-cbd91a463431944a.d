@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/veil_workloads-cbd91a463431944a.d: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs
+
+/root/repo/target/debug/deps/veil_workloads-cbd91a463431944a: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/http.rs:
+crates/workloads/src/kvstore.rs:
+crates/workloads/src/mbedtls.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/minidb.rs:
+crates/workloads/src/openssl.rs:
+crates/workloads/src/spec_cpu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_hardening-3513fe3611f69cca.d: examples/kernel_hardening.rs
+
+/root/repo/target/debug/examples/kernel_hardening-3513fe3611f69cca: examples/kernel_hardening.rs
+
+examples/kernel_hardening.rs:

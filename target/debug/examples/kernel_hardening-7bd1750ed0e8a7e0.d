@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_hardening-7bd1750ed0e8a7e0.d: examples/kernel_hardening.rs
+
+/root/repo/target/debug/examples/kernel_hardening-7bd1750ed0e8a7e0: examples/kernel_hardening.rs
+
+examples/kernel_hardening.rs:

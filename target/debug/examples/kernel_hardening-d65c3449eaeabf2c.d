@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kernel_hardening-d65c3449eaeabf2c.d: examples/kernel_hardening.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkernel_hardening-d65c3449eaeabf2c.rmeta: examples/kernel_hardening.rs Cargo.toml
+
+examples/kernel_hardening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

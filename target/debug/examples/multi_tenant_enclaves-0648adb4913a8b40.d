@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_tenant_enclaves-0648adb4913a8b40.d: examples/multi_tenant_enclaves.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_tenant_enclaves-0648adb4913a8b40.rmeta: examples/multi_tenant_enclaves.rs Cargo.toml
+
+examples/multi_tenant_enclaves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

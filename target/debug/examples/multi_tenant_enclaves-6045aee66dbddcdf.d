@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_enclaves-6045aee66dbddcdf.d: examples/multi_tenant_enclaves.rs
+
+/root/repo/target/debug/examples/multi_tenant_enclaves-6045aee66dbddcdf: examples/multi_tenant_enclaves.rs
+
+examples/multi_tenant_enclaves.rs:

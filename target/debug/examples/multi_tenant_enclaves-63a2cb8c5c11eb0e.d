@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_enclaves-63a2cb8c5c11eb0e.d: examples/multi_tenant_enclaves.rs
+
+/root/repo/target/debug/examples/multi_tenant_enclaves-63a2cb8c5c11eb0e: examples/multi_tenant_enclaves.rs
+
+examples/multi_tenant_enclaves.rs:

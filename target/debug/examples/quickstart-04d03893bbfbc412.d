@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-04d03893bbfbc412.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-04d03893bbfbc412: examples/quickstart.rs
+
+examples/quickstart.rs:

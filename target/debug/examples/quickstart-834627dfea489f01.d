@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-834627dfea489f01.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-834627dfea489f01: examples/quickstart.rs
+
+examples/quickstart.rs:

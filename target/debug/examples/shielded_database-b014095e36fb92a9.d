@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shielded_database-b014095e36fb92a9.d: examples/shielded_database.rs
+
+/root/repo/target/debug/examples/shielded_database-b014095e36fb92a9: examples/shielded_database.rs
+
+examples/shielded_database.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shielded_database-df3ceda37f84165b.d: examples/shielded_database.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshielded_database-df3ceda37f84165b.rmeta: examples/shielded_database.rs Cargo.toml
+
+examples/shielded_database.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shielded_database-e4916d5ce2c28853.d: examples/shielded_database.rs
+
+/root/repo/target/debug/examples/shielded_database-e4916d5ce2c28853: examples/shielded_database.rs
+
+examples/shielded_database.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tamper_proof_forensics-716cdba46dbd1ff5.d: examples/tamper_proof_forensics.rs
+
+/root/repo/target/debug/examples/tamper_proof_forensics-716cdba46dbd1ff5: examples/tamper_proof_forensics.rs
+
+examples/tamper_proof_forensics.rs:

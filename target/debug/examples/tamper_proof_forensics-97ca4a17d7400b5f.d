@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tamper_proof_forensics-97ca4a17d7400b5f.d: examples/tamper_proof_forensics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtamper_proof_forensics-97ca4a17d7400b5f.rmeta: examples/tamper_proof_forensics.rs Cargo.toml
+
+examples/tamper_proof_forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tamper_proof_forensics-c1e335286b8cd79f.d: examples/tamper_proof_forensics.rs
+
+/root/repo/target/debug/examples/tamper_proof_forensics-c1e335286b8cd79f: examples/tamper_proof_forensics.rs
+
+examples/tamper_proof_forensics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/domain_switch-94e9cfa100e88449.d: crates/bench/benches/domain_switch.rs
+
+/root/repo/target/release/deps/domain_switch-94e9cfa100e88449: crates/bench/benches/domain_switch.rs
+
+crates/bench/benches/domain_switch.rs:

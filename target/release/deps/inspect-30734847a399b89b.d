@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inspect-30734847a399b89b.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/release/deps/inspect-30734847a399b89b: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

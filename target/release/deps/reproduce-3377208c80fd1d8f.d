@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-3377208c80fd1d8f.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-3377208c80fd1d8f: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

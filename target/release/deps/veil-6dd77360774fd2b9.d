@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/veil-6dd77360774fd2b9.d: src/lib.rs
+
+/root/repo/target/release/deps/libveil-6dd77360774fd2b9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libveil-6dd77360774fd2b9.rmeta: src/lib.rs
+
+src/lib.rs:

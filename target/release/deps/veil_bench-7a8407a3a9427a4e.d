@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/veil_bench-7a8407a3a9427a4e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/release/deps/libveil_bench-7a8407a3a9427a4e.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/release/deps/libveil_bench-7a8407a3a9427a4e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:

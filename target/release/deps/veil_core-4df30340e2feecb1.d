@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/veil_core-4df30340e2feecb1.d: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+/root/repo/target/release/deps/libveil_core-4df30340e2feecb1.rlib: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+/root/repo/target/release/deps/libveil_core-4df30340e2feecb1.rmeta: crates/core/src/lib.rs crates/core/src/cvm.rs crates/core/src/domain.rs crates/core/src/gate.rs crates/core/src/idcb.rs crates/core/src/layout.rs crates/core/src/monitor.rs crates/core/src/remote.rs crates/core/src/service.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cvm.rs:
+crates/core/src/domain.rs:
+crates/core/src/gate.rs:
+crates/core/src/idcb.rs:
+crates/core/src/layout.rs:
+crates/core/src/monitor.rs:
+crates/core/src/remote.rs:
+crates/core/src/service.rs:

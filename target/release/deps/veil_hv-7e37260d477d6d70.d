@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/veil_hv-7e37260d477d6d70.d: crates/hv/src/lib.rs
+
+/root/repo/target/release/deps/libveil_hv-7e37260d477d6d70.rlib: crates/hv/src/lib.rs
+
+/root/repo/target/release/deps/libveil_hv-7e37260d477d6d70.rmeta: crates/hv/src/lib.rs
+
+crates/hv/src/lib.rs:

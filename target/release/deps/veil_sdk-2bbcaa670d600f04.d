@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/veil_sdk-2bbcaa670d600f04.d: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs
+
+/root/repo/target/release/deps/libveil_sdk-2bbcaa670d600f04.rlib: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs
+
+/root/repo/target/release/deps/libveil_sdk-2bbcaa670d600f04.rmeta: crates/sdk/src/lib.rs crates/sdk/src/batch.rs crates/sdk/src/binary.rs crates/sdk/src/heap.rs crates/sdk/src/install.rs crates/sdk/src/ltp.rs crates/sdk/src/runtime.rs crates/sdk/src/spec.rs
+
+crates/sdk/src/lib.rs:
+crates/sdk/src/batch.rs:
+crates/sdk/src/binary.rs:
+crates/sdk/src/heap.rs:
+crates/sdk/src/install.rs:
+crates/sdk/src/ltp.rs:
+crates/sdk/src/runtime.rs:
+crates/sdk/src/spec.rs:

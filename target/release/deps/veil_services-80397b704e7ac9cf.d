@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/veil_services-80397b704e7ac9cf.d: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/release/deps/libveil_services-80397b704e7ac9cf.rlib: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+/root/repo/target/release/deps/libveil_services-80397b704e7ac9cf.rmeta: crates/services/src/lib.rs crates/services/src/enc.rs crates/services/src/kci.rs crates/services/src/log.rs
+
+crates/services/src/lib.rs:
+crates/services/src/enc.rs:
+crates/services/src/kci.rs:
+crates/services/src/log.rs:

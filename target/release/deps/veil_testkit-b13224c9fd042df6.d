@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/veil_testkit-b13224c9fd042df6.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/trace.rs
+
+/root/repo/target/release/deps/libveil_testkit-b13224c9fd042df6.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/trace.rs
+
+/root/repo/target/release/deps/libveil_testkit-b13224c9fd042df6.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/fmt.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/trace.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/fmt.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/veil_workloads-d1011dced4ed98fd.d: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs
+
+/root/repo/target/release/deps/libveil_workloads-d1011dced4ed98fd.rlib: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs
+
+/root/repo/target/release/deps/libveil_workloads-d1011dced4ed98fd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/compress.rs crates/workloads/src/driver.rs crates/workloads/src/http.rs crates/workloads/src/kvstore.rs crates/workloads/src/mbedtls.rs crates/workloads/src/memcached.rs crates/workloads/src/minidb.rs crates/workloads/src/openssl.rs crates/workloads/src/spec_cpu.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/http.rs:
+crates/workloads/src/kvstore.rs:
+crates/workloads/src/mbedtls.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/minidb.rs:
+crates/workloads/src/openssl.rs:
+crates/workloads/src/spec_cpu.rs:

@@ -83,7 +83,7 @@ fn log_retrieval_after_full_run() {
     let user = RemoteUser::new(cvm.hv.machine.device_verification_key(), Some(golden), &[7; 32]);
     let (report, mon_pub) = cvm.gate.monitor.begin_channel(&mut cvm.hv).unwrap();
     let mut user_chan = user.verify_and_derive(&report, &mon_pub).unwrap();
-    cvm.gate.monitor.complete_channel(&user.public()).unwrap();
+    cvm.gate.monitor.complete_channel(&mut cvm.hv, &user.public()).unwrap();
     let mut svc_chan = SecureChannel::new(cvm.gate.monitor.channel_key().unwrap());
 
     // Generate audited activity.

@@ -169,6 +169,69 @@ fn module_parser_survives_garbage() {
     );
 }
 
+/// Regression: `Hypervisor::vmgexit`'s early-error paths used to update
+/// `HvStats` without recording any trace event, so statistics and trace
+/// disagreed under hostile host policies (`refuse_switches`,
+/// `misroute_switch_to`). Both now derive from the same event stream, so
+/// they cannot drift — this pins that.
+#[test]
+fn stats_and_trace_agree_under_hostile_switch_policies() {
+    use veil::trace::{Event, EventCounters};
+    let policies = [
+        veil_hv::HvPolicy { refuse_switches: true, ..Default::default() },
+        veil_hv::HvPolicy { misroute_switch_to: Some(Vmpl::Vmpl1), ..Default::default() },
+    ];
+    for policy in policies {
+        let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).trace(true).build().unwrap();
+        let before = cvm.hv.stats();
+        let gfn = cvm.gate.monitor.layout.shared.start + 6;
+        cvm.hv.machine.rmp_assign(gfn).unwrap();
+        cvm.hv.policy = policy.clone();
+        let result = {
+            let (_, ctx) = cvm.kctx();
+            ctx.gate.request(ctx.hv, 0, MonRequest::Pvalidate { gfn, validate: true })
+        };
+        assert!(result.is_err(), "hostile switch policy must surface as an error");
+
+        let stats = cvm.hv.stats();
+        assert!(stats.vmgexits > before.vmgexits, "the exit itself is still counted");
+        // Stats are a pure fold over the recorded stream — zero drift.
+        let records = cvm.trace_records();
+        assert_eq!(cvm.hv.machine.tracer().dropped(), 0);
+        let fold = EventCounters::from_records(&records);
+        assert_eq!(stats.vmgexits, fold.vmgexits);
+        assert_eq!(stats.domain_switches, fold.domain_switches);
+        let switches =
+            records.iter().filter(|r| matches!(r.event, Event::DomainSwitch { .. })).count() as u64;
+        assert_eq!(stats.domain_switches, switches, "stats agree with the trace");
+
+        if policy.refuse_switches {
+            // A refused switch is not a switch — but the exit and the
+            // resume-in-place are both visible in the stream.
+            assert_eq!(stats.domain_switches, before.domain_switches);
+            let tail = &records[records.len() - 2..];
+            assert!(matches!(tail[0].event, Event::VmgExit { .. }), "{:?}", tail[0]);
+            assert!(
+                matches!(tail[1].event, Event::VmEnter { vmpl: 3, .. }),
+                "refusal resumes the exiting domain: {:?}",
+                tail[1]
+            );
+        } else {
+            // The misrouted switch really happened — to the wrong domain.
+            assert_eq!(stats.domain_switches, before.domain_switches + 1);
+            let wrong = records
+                .iter()
+                .rev()
+                .find_map(|r| match r.event {
+                    Event::DomainSwitch { to, .. } => Some(to),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(wrong, 1, "trace records the domain actually resumed");
+        }
+    }
+}
+
 /// Audit-record parsing never panics on arbitrary bytes.
 #[test]
 fn audit_parser_survives_garbage() {

@@ -101,6 +101,94 @@ fn enclave_syscall_is_two_user_ghcb_crossings() {
     );
 }
 
+// ---- golden trace digests (§regression pins) ---------------------------
+//
+// Each pin is the SHA-256 trace digest (`veil-trace` canonical encoding:
+// sequence number, virtual-cycle timestamp, event tag + fields, all
+// little-endian) of one protocol flow. The digests are bit-stable for a
+// fixed build + configuration; any drift means the privileged-event
+// protocol changed. After an *intentional* change, regenerate with:
+//
+//   VEIL_REGEN_GOLDEN=1 cargo test -q --test protocol_trace -- --nocapture golden
+//
+// and paste the printed constants over the pins below.
+
+const GOLDEN_BOOT: &str = "ccd9ae8ee523bec329f2d628969fab0315170aeb06c8860859a1c360c09a0974";
+const GOLDEN_HANDSHAKE: &str = "19d7b7b726d00e479362c391267eb55667661f2b3921e9a4605e29e31095b817";
+const GOLDEN_DOMAIN_SWITCH: &str =
+    "f1c7b90d4ffa96314196a883088d2e7fcff3d822548c4b2eeee0f3f516b2b596";
+const GOLDEN_SYSCALL_REDIRECT: &str =
+    "9375d8389abaf90d6280292ad71fc2e6b21c9eb469eb1fde340f8652d723aa0d";
+
+fn assert_golden(name: &str, pinned: &str, actual: &str) {
+    if std::env::var_os("VEIL_REGEN_GOLDEN").is_some() {
+        println!("const {name}: &str = \"{actual}\";");
+        return;
+    }
+    assert_eq!(
+        actual, pinned,
+        "{name} drifted. If the protocol change is intentional, regenerate the pins with \
+         `VEIL_REGEN_GOLDEN=1 cargo test -q --test protocol_trace -- --nocapture golden` \
+         and paste the printed constants into tests/protocol_trace.rs."
+    );
+}
+
+#[test]
+fn golden_boot_trace() {
+    let cvm = CvmBuilder::new().frames(2048).vcpus(1).trace(true).build().unwrap();
+    let digest = cvm.trace_digest_hex();
+    // Acceptance gate: bit-stable across two consecutive identical boots.
+    let again = CvmBuilder::new().frames(2048).vcpus(1).trace(true).build().unwrap();
+    assert_eq!(digest, again.trace_digest_hex(), "boot trace must be deterministic");
+    assert!(!cvm.trace_records().is_empty(), "boot must record events");
+    assert_golden("GOLDEN_BOOT", GOLDEN_BOOT, &digest);
+}
+
+#[test]
+fn golden_channel_handshake_trace() {
+    let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
+    // Enabling resets the stream, so the digest covers just the handshake.
+    cvm.hv.set_trace(true);
+    let user = veil::crypto::DhKeyPair::from_seed(&[7; 32]);
+    let (report, mon_pub) = cvm.gate.monitor.begin_channel(&mut cvm.hv).unwrap();
+    assert!(report.verify(&cvm.hv.machine.device_verification_key()));
+    let _secret = user.agree(&mon_pub);
+    cvm.gate.monitor.complete_channel(&mut cvm.hv, &user.public).unwrap();
+    let counters = cvm.hv.machine.tracer().counters();
+    assert_eq!(counters.handshake_steps, 2, "begin + complete");
+    assert_golden("GOLDEN_HANDSHAKE", GOLDEN_HANDSHAKE, &cvm.trace_digest_hex());
+}
+
+#[test]
+fn golden_domain_switch_trace() {
+    let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
+    let gfn = cvm.gate.monitor.layout.shared.start + 6;
+    cvm.hv.machine.rmp_assign(gfn).unwrap();
+    cvm.hv.set_trace(true);
+    {
+        let (_, ctx) = cvm.kctx();
+        ctx.gate.request(ctx.hv, 0, MonRequest::Pvalidate { gfn, validate: true }).unwrap();
+    }
+    assert_golden("GOLDEN_DOMAIN_SWITCH", GOLDEN_DOMAIN_SWITCH, &cvm.trace_digest_hex());
+}
+
+#[test]
+fn golden_syscall_redirect_trace() {
+    let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
+    let pid = cvm.spawn();
+    let handle = install_enclave(&mut cvm, pid, &EnclaveBinary::build("gold", 2048, 0)).unwrap();
+    let mut rt = EnclaveRuntime::new(handle);
+    {
+        let _ = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+    }
+    cvm.hv.set_trace(true);
+    {
+        let mut sys = EnclaveSys::activate(&mut cvm, &mut rt).unwrap();
+        sys.getpid().unwrap();
+    }
+    assert_golden("GOLDEN_SYSCALL_REDIRECT", GOLDEN_SYSCALL_REDIRECT, &cvm.trace_digest_hex());
+}
+
 #[test]
 fn interrupt_relay_appears_as_automatic_event() {
     let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).build().unwrap();
