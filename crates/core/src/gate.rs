@@ -134,9 +134,15 @@ impl<S: ServiceDispatch> MonitorChannel for VeilGate<S> {
             .idcb_gfn(vcpu)
             .ok_or_else(|| OsError::Config(format!("no IDCB for vcpu {vcpu}")))?;
         let idcb = Idcb::at(idcb_gfn);
-        let wire = format!("{req:?}");
-        let wire_bytes = &wire.as_bytes()[..wire.len().min(Idcb::capacity())];
-        idcb.write_message(&mut hv.machine, Vmpl::Vmpl3, seq, wire_bytes)?;
+        // Compact fixed header instead of a formatted dump of the request:
+        // the typed value carries the payload, the IDCB bytes exercise the
+        // real memory path, and the copy cost below is still charged from
+        // the full wire length. (Debug-formatting the request allocated on
+        // every monitor crossing — measurable on the audit hot path.)
+        let mut wire = [0u8; 16];
+        wire[0] = req.kind_code();
+        wire[8..].copy_from_slice(&(req.wire_len() as u64).to_le_bytes());
+        idcb.write_message(&mut hv.machine, Vmpl::Vmpl3, seq, &wire)?;
         let copy_cost = hv.machine.cost().copy(req.wire_len());
         hv.machine.charge(CostCategory::KernelService, copy_cost);
 

@@ -74,7 +74,8 @@ impl Idcb {
     /// Fails on RMP faults or a corrupt header.
     pub fn read_message(&self, machine: &Machine, vmpl: Vmpl) -> Result<(u32, Vec<u8>), OsError> {
         let base = gpa_of(self.gfn);
-        let header = machine.read(vmpl, base, HEADER_LEN)?;
+        let mut header = [0u8; HEADER_LEN];
+        machine.read_into(vmpl, base, &mut header)?;
         let magic = u32::from_le_bytes(header[0..4].try_into().expect("4"));
         if magic != MAGIC {
             return Err(OsError::Config("IDCB header corrupt".into()));

@@ -351,6 +351,11 @@ impl Hypervisor {
                 };
                 let resp = match outcome {
                     Ok(()) => {
+                        // A successful page-state change retires every
+                        // cached translation and RMP verdict: real
+                        // hardware forces a TLB flush before the guest
+                        // may observe the new state (§3).
+                        self.machine.cache_flush();
                         ghcb.write_response(&mut self.machine, 0);
                         HvResponse::PageStateChanged
                     }

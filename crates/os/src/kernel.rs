@@ -427,11 +427,9 @@ impl Kernel {
     ) -> Result<(), Errno> {
         self.charge_copy(ctx, buf.len());
         let aspace = self.process(pid)?.aspace.ok_or(Errno::EFAULT)?;
-        let data = aspace
-            .read_virt(&ctx.hv.machine, addr, buf.len(), self.vmpl, Cpl::Cpl3)
-            .map_err(|_| Errno::EFAULT)?;
-        buf.copy_from_slice(&data);
-        Ok(())
+        aspace
+            .read_virt_into(&ctx.hv.machine, addr, buf, self.vmpl, Cpl::Cpl3)
+            .map_err(|_| Errno::EFAULT)
     }
 
     // ---- files -----------------------------------------------------------

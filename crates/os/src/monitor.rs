@@ -150,6 +150,25 @@ pub enum MonResponse {
 }
 
 impl MonRequest {
+    /// Stable numeric tag identifying the request kind in the IDCB wire
+    /// header.
+    pub fn kind_code(&self) -> u8 {
+        match self {
+            MonRequest::Pvalidate { .. } => 1,
+            MonRequest::CreateVcpu { .. } => 2,
+            MonRequest::KciModuleLoad { .. } => 3,
+            MonRequest::KciModuleUnload { .. } => 4,
+            MonRequest::LogAppend { .. } => 5,
+            MonRequest::EncFinalize { .. } => 6,
+            MonRequest::EncPageOut { .. } => 7,
+            MonRequest::EncPageIn { .. } => 8,
+            MonRequest::EncMapSync { .. } => 9,
+            MonRequest::EncPermSync { .. } => 10,
+            MonRequest::EncAddThread { .. } => 11,
+            MonRequest::EncDestroy { .. } => 12,
+        }
+    }
+
     /// Approximate serialized size of the request header + inline payload,
     /// used to charge IDCB copy costs.
     pub fn wire_len(&self) -> usize {

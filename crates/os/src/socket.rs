@@ -141,9 +141,13 @@ impl SocketTable {
             return if sock.state == SockState::Shutdown { Ok(0) } else { Err(Errno::EAGAIN) };
         }
         let n = buf.len().min(sock.rx.len());
-        for b in buf.iter_mut().take(n) {
-            *b = sock.rx.pop_front().expect("len checked");
-        }
+        // Bulk drain: popping byte-at-a-time was a measurable fraction of
+        // the HTTP workload's wall-clock.
+        let (front, back) = sock.rx.as_slices();
+        let from_front = n.min(front.len());
+        buf[..from_front].copy_from_slice(&front[..from_front]);
+        buf[from_front..n].copy_from_slice(&back[..n - from_front]);
+        sock.rx.drain(..n);
         Ok(n)
     }
 

@@ -58,6 +58,9 @@ pub struct EnclaveRuntime {
     /// Cursor into the shared staging buffer.
     stage_cursor: u64,
     inside: bool,
+    /// Reusable untrusted-stub buffer so the redirect paths do not
+    /// allocate per syscall.
+    scratch: Vec<u8>,
 }
 
 /// Exits the enclave if it is currently inside — used by schedulers /
@@ -87,6 +90,7 @@ impl EnclaveRuntime {
             ghcb_gfn,
             stage_cursor: 0,
             inside: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -103,6 +107,7 @@ impl EnclaveRuntime {
             ghcb_gfn: thread.ghcb_gfn,
             stage_cursor: 0,
             inside: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -210,13 +215,13 @@ impl<'a> EnclaveSys<'a> {
         Ok(addr)
     }
 
-    /// Copies an out-buffer back into the enclave (step 4).
+    /// Copies an out-buffer back into the enclave (step 4). Reads straight
+    /// into the caller's buffer — no intermediate allocation.
     fn copy_back(&mut self, staged: u64, buf: &mut [u8]) -> Result<(), Errno> {
         let aspace = self.enclave_aspace();
-        let data = aspace
-            .read_virt(&self.cvm.hv.machine, staged, buf.len(), Vmpl::Vmpl2, Cpl::Cpl3)
+        aspace
+            .read_virt_into(&self.cvm.hv.machine, staged, buf, Vmpl::Vmpl2, Cpl::Cpl3)
             .map_err(|_| Errno::EFAULT)?;
-        buf.copy_from_slice(&data);
         let cost = self.cvm.hv.machine.cost().copy(buf.len());
         self.cvm.hv.machine.charge(CostCategory::SyscallCopy, cost);
         self.rt.stats.bytes_copied += buf.len() as u64;
@@ -241,14 +246,22 @@ impl<'a> EnclaveSys<'a> {
     /// Reads staged bytes from the *untrusted* side (the stub's view of
     /// the shared buffer, through the OS page tables).
     fn untrusted_read(&mut self, staged: u64, len: usize) -> Result<Vec<u8>, Errno> {
+        let mut data = vec![0u8; len];
+        self.untrusted_read_into(staged, &mut data)?;
+        Ok(data)
+    }
+
+    /// Allocation-free variant of [`Self::untrusted_read`] for the hot
+    /// redirect paths: reads straight into a caller-owned buffer.
+    fn untrusted_read_into(&mut self, staged: u64, buf: &mut [u8]) -> Result<(), Errno> {
         let pid = self.rt.handle.pid;
         let aspace = self.cvm.kernel.process(pid)?.aspace.ok_or(Errno::EFAULT)?;
-        let data = aspace
-            .read_virt(&self.cvm.hv.machine, staged, len, self.cvm.kernel.vmpl, Cpl::Cpl3)
+        aspace
+            .read_virt_into(&self.cvm.hv.machine, staged, buf, self.cvm.kernel.vmpl, Cpl::Cpl3)
             .map_err(|_| Errno::EFAULT)?;
-        let cost = self.cvm.hv.machine.cost().copy(len);
+        let cost = self.cvm.hv.machine.cost().copy(buf.len());
         self.cvm.hv.machine.charge(CostCategory::SyscallCopy, cost);
-        Ok(data)
+        Ok(())
     }
 
     /// Writes result bytes from the untrusted side into the shared buffer.
@@ -323,10 +336,16 @@ impl<'a> EnclaveSys<'a> {
         self.pre(sysno)?;
         let staged = self.stage_in(data)?;
         self.exit()?;
+        // The untrusted stub reuses the runtime's scratch buffer instead
+        // of allocating a fresh staging copy every syscall.
+        let mut scratch = std::mem::take(&mut self.rt.scratch);
+        scratch.clear();
+        scratch.resize(data.len(), 0);
         let result = (|| {
-            let bytes = self.untrusted_read(staged, data.len())?;
-            self.untrusted(|ks| f(ks, &bytes))
+            self.untrusted_read_into(staged, &mut scratch)?;
+            self.untrusted(|ks| f(ks, &scratch))
         })();
+        self.rt.scratch = scratch;
         self.enter()?;
         result
     }
@@ -341,23 +360,24 @@ impl<'a> EnclaveSys<'a> {
         self.pre(sysno)?;
         let staged = self.reserve(buf.len())?;
         self.exit()?;
+        let mut scratch = std::mem::take(&mut self.rt.scratch);
+        scratch.clear();
+        scratch.resize(buf.len(), 0);
         let result = (|| {
-            let mut tmp = vec![0u8; buf.len()];
-            let n = self.untrusted(|ks| f(ks, &mut tmp))?;
+            let n = self.untrusted(|ks| f(ks, &mut scratch))?;
             if n > buf.len() {
                 // A lying kernel cannot trick the enclave into
                 // overflowing its buffer.
                 return Err(Errno::EFAULT);
             }
-            self.untrusted_write(staged, &tmp[..n])?;
+            self.untrusted_write(staged, &scratch[..n])?;
             Ok(n)
         })();
+        self.rt.scratch = scratch;
         self.enter()?;
         let n = result?;
         if n > 0 {
-            let mut got = vec![0u8; n];
-            self.copy_back(staged, &mut got)?;
-            buf[..n].copy_from_slice(&got);
+            self.copy_back(staged, &mut buf[..n])?;
         }
         Ok(n)
     }
@@ -530,11 +550,9 @@ impl Sys for EnclaveSys<'_> {
 
     fn mem_read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Errno> {
         let aspace = self.enclave_aspace();
-        let data = aspace
-            .read_virt(&self.cvm.hv.machine, addr, buf.len(), Vmpl::Vmpl2, Cpl::Cpl3)
-            .map_err(|_| Errno::EFAULT)?;
-        buf.copy_from_slice(&data);
-        Ok(())
+        aspace
+            .read_virt_into(&self.cvm.hv.machine, addr, buf, Vmpl::Vmpl2, Cpl::Cpl3)
+            .map_err(|_| Errno::EFAULT)
     }
 
     fn socket(&mut self) -> Result<Fd, Errno> {

@@ -227,6 +227,7 @@ impl VeilSEnc {
         // we go (address, permissions, contents — §6.2).
         let mut hasher = Sha256::new();
         let mut frames = BTreeMap::new();
+        let mut contents = [0u8; PAGE_SIZE];
         for (vaddr, pfn, flags) in enclave_pages {
             hv.machine.rmpadjust(
                 Vmpl::Vmpl0,
@@ -235,7 +236,7 @@ impl VeilSEnc {
                 VmplPerms::rw().union(VmplPerms::USER_EXEC),
             )?;
             hv.machine.rmpadjust(Vmpl::Vmpl0, *pfn, Vmpl::Vmpl3, VmplPerms::empty())?;
-            let contents = hv.machine.read(Vmpl::Vmpl1, gpa_of(*pfn), PAGE_SIZE)?;
+            hv.machine.read_into(Vmpl::Vmpl1, gpa_of(*pfn), &mut contents)?;
             hasher.update(&vaddr.to_le_bytes());
             hasher.update(&flags.bits().to_le_bytes());
             hasher.update(&contents);
@@ -312,7 +313,8 @@ impl VeilSEnc {
 
         // Seal: integrity hash (with freshness) over the plaintext, then
         // encrypt the page in place.
-        let mut page = hv.machine.read(Vmpl::Vmpl1, gpa_of(pfn), PAGE_SIZE)?;
+        let mut page = [0u8; PAGE_SIZE];
+        hv.machine.read_into(Vmpl::Vmpl1, gpa_of(pfn), &mut page)?;
         let mut mac = HmacSha256::new(&enclave.seal_key);
         mac.update(&vaddr.to_le_bytes());
         mac.update(&ctr.to_le_bytes());
@@ -363,7 +365,8 @@ impl VeilSEnc {
             .get(&vaddr)
             .ok_or_else(|| OsError::MonitorRefused("no sealed page at this address".into()))?
             .clone();
-        let mut page = hv.machine.read(Vmpl::Vmpl1, gpa_of(staging_gfn), PAGE_SIZE)?;
+        let mut page = [0u8; PAGE_SIZE];
+        hv.machine.read_into(Vmpl::Vmpl1, gpa_of(staging_gfn), &mut page)?;
         ChaCha20::new(&enclave.seal_key).apply_keystream(
             &Self::nonce(vaddr, meta.ctr),
             1,

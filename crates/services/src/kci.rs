@@ -95,13 +95,14 @@ impl VeilSKci {
             return Err(OsError::MonitorRefused("image length exceeds staging".into()));
         }
         // 1. Copy out of untrusted memory before any checks (TOCTOU).
-        let mut bytes = Vec::with_capacity(image_len);
+        let mut bytes = vec![0u8; image_len];
         for (i, gfn) in staging_gfns.iter().enumerate() {
-            let take = (image_len - i * PAGE_SIZE).min(PAGE_SIZE);
-            bytes.extend_from_slice(&hv.machine.read(Vmpl::Vmpl1, gpa_of(*gfn), take)?);
-            if bytes.len() >= image_len {
+            let off = i * PAGE_SIZE;
+            if off >= image_len {
                 break;
             }
+            let take = (image_len - off).min(PAGE_SIZE);
+            hv.machine.read_into(Vmpl::Vmpl1, gpa_of(*gfn), &mut bytes[off..off + take])?;
         }
         let copy_cost = hv.machine.cost().copy(image_len);
         hv.machine.charge(CostCategory::Other, copy_cost);

@@ -117,10 +117,14 @@ impl Ghcb {
         info1: u64,
         info2: u64,
     ) -> Result<(), SnpError> {
-        machine.write_u64(vmpl, self.base() + offsets::EXIT_CODE, exit.code())?;
-        machine.write_u64(vmpl, self.base() + offsets::EXIT_INFO1, info1)?;
-        machine.write_u64(vmpl, self.base() + offsets::EXIT_INFO2, info2)?;
-        Ok(())
+        // One checked write for all three contiguous fields: a request is
+        // issued on every domain switch, so the permission check and the
+        // page-table write snoop are paid once instead of three times.
+        let mut fields = [0u8; 24];
+        fields[..8].copy_from_slice(&exit.code().to_le_bytes());
+        fields[8..16].copy_from_slice(&info1.to_le_bytes());
+        fields[16..].copy_from_slice(&info2.to_le_bytes());
+        machine.write(vmpl, self.base() + offsets::EXIT_CODE, &fields)
     }
 
     /// Hypervisor-side read of the request (raw access — the page is shared).
@@ -133,6 +137,7 @@ impl Ghcb {
 
     /// Writes the hypervisor's response into the scratch area (raw access).
     pub fn write_response(&self, machine: &mut Machine, value: u64) {
+        machine.note_write(self.base() + offsets::SCRATCH, 8);
         machine.mem_mut().write_u64_raw(self.base() + offsets::SCRATCH, value);
     }
 

@@ -52,6 +52,7 @@ pub mod mem;
 pub mod perms;
 pub mod pt;
 pub mod rmp;
+mod tlb;
 pub mod vmsa;
 
 /// Convenient glob-import of the types nearly every consumer needs.

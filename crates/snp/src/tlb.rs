@@ -1,0 +1,343 @@
+//! Software TLB and RMP-verdict cache for the SNP hot path.
+//!
+//! Real SEV-SNP hardware amortises the nested page walk and the RMP
+//! permission check through the TLB: entries are VMPL-tagged, and the
+//! architecture *requires* a flush whenever the RMP or the page tables
+//! change underneath them (`RMPADJUST`/`PVALIDATE`/`RMPUPDATE` all demand
+//! TLB invalidation before their effect is guaranteed visible — the
+//! staleness rules the paper's §3 security argument leans on). The model
+//! re-ran a full 4-level walk plus a per-frame RMP lookup on every virtual
+//! access; this module caches both with the same invalidation discipline:
+//!
+//! * **Translation cache** ([`MachineCaches::tlb_lookup`]) — a
+//!   direct-mapped map from `(root_gfn, vpn)` to `(pfn, PteFlags)`,
+//!   filled by successful walks. `map`/`unmap`/`protect` drop the single
+//!   affected entry (INVLPG); any *other* write that lands on a frame the
+//!   walker has used as a page table triggers a full flush (the "OS edits
+//!   page tables directly" case — hardware offers no precise invalidation
+//!   for that either, kernels execute a broadcast shootdown).
+//! * **Verdict cache** ([`MachineCaches::verdict_check`]) — one 16-bit
+//!   word per gfn caching *positive* `(vmpl, access)` RMP verdicts,
+//!   dropped per-gfn on every RMP-mutating instruction (`RMPADJUST`,
+//!   `PVALIDATE`, `RMPUPDATE` assign/reclaim, VMSA create/destroy) —
+//!   exactly the events that flush real SNP TLBs.
+//!
+//! Cache operations charge **zero cycles** and emit **zero trace events**,
+//! so a cache-on and a cache-off run of the same schedule produce
+//! bit-identical results, cycle totals, and trace digests (proven by the
+//! twin-execution differential tests). Hit/miss/flush statistics live in
+//! [`veil_trace::CacheCounters`], outside the digest-bearing stream.
+//!
+//! `VEIL_NO_TLB=1` in the environment disables both caches at machine
+//! construction; [`crate::machine::Machine::set_cache_enabled`] toggles
+//! them programmatically (used by the differential harness).
+
+use crate::perms::{Access, Cpl, Vmpl};
+use crate::pt::PteFlags;
+use std::cell::{Cell, RefCell};
+use veil_trace::CacheCounters;
+
+/// Number of direct-mapped translation-cache slots. Power of two so the
+/// index is a mask; 1024 entries cover 4 MiB of hot virtual space per
+/// address space, far beyond what the workloads touch between flushes.
+const TLB_SLOTS: usize = 1024;
+
+/// One cached translation: `(root_gfn, vpn) -> (pfn, flags)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TlbEntry {
+    root_gfn: u64,
+    vpn: u64,
+    pfn: u64,
+    flags: PteFlags,
+}
+
+/// Direct-mapped slot for `(root_gfn, vpn)`. The root is folded in with a
+/// Fibonacci-hash multiply so distinct address spaces walking the *same*
+/// virtual page (the enclave and the OS both touch the shared staging
+/// window every syscall) land in different slots instead of evicting each
+/// other on every redirect.
+fn tlb_slot(root_gfn: u64, vpn: u64) -> usize {
+    let mix = root_gfn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48;
+    ((vpn ^ mix) as usize) & (TLB_SLOTS - 1)
+}
+
+/// Bit position of a `(vmpl, access)` pair inside a verdict word.
+fn verdict_bit(vmpl: Vmpl, access: Access) -> u16 {
+    let kind = match access {
+        Access::Read => 0,
+        Access::Write => 1,
+        Access::Execute(Cpl::Cpl0) => 2,
+        Access::Execute(Cpl::Cpl3) => 3,
+    };
+    1 << (vmpl.index() * 4 + kind)
+}
+
+/// The machine's caches. Interior-mutable (`Cell`/`RefCell`) because the
+/// read-side accessors (`translate`, `Machine::read`, …) take `&Machine`;
+/// the flows are sequential so the single-threaded borrow discipline of
+/// `RefCell` is never contended.
+#[derive(Debug, Clone)]
+pub(crate) struct MachineCaches {
+    enabled: Cell<bool>,
+    /// Direct-mapped translation entries, indexed by `vpn % TLB_SLOTS`.
+    tlb: RefCell<Vec<Option<TlbEntry>>>,
+    /// Frames the walker has read page-table entries from since the last
+    /// full flush. A write landing on a marked frame means "software
+    /// edited a live page table" and forces a full translation flush.
+    table_frames: RefCell<Vec<bool>>,
+    /// Positive RMP verdicts per gfn, one bit per `(vmpl, access)` pair.
+    verdicts: RefCell<Vec<u16>>,
+    // Live statistics (never part of the trace digest).
+    tlb_hits: Cell<u64>,
+    tlb_misses: Cell<u64>,
+    tlb_flushes: Cell<u64>,
+    verdict_hits: Cell<u64>,
+    verdict_misses: Cell<u64>,
+    verdict_flushes: Cell<u64>,
+}
+
+impl MachineCaches {
+    /// Creates caches for a machine of `frames` guest frames. `enabled`
+    /// is typically `VEIL_NO_TLB`'s absence.
+    pub(crate) fn new(frames: usize, enabled: bool) -> Self {
+        MachineCaches {
+            enabled: Cell::new(enabled),
+            tlb: RefCell::new(vec![None; TLB_SLOTS]),
+            table_frames: RefCell::new(vec![false; frames]),
+            verdicts: RefCell::new(vec![0; frames]),
+            tlb_hits: Cell::new(0),
+            tlb_misses: Cell::new(0),
+            tlb_flushes: Cell::new(0),
+            verdict_hits: Cell::new(0),
+            verdict_misses: Cell::new(0),
+            verdict_flushes: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Enables/disables both caches. Disabling drops every entry so a
+    /// later re-enable cannot observe stale state; statistics persist
+    /// (they are cumulative since machine construction).
+    pub(crate) fn set_enabled(&self, enabled: bool) {
+        self.enabled.set(enabled);
+        self.tlb.borrow_mut().fill(None);
+        self.table_frames.borrow_mut().fill(false);
+        self.verdicts.borrow_mut().fill(0);
+    }
+
+    /// Statistics snapshot.
+    pub(crate) fn stats(&self) -> CacheCounters {
+        CacheCounters {
+            tlb_hits: self.tlb_hits.get(),
+            tlb_misses: self.tlb_misses.get(),
+            tlb_flushes: self.tlb_flushes.get(),
+            verdict_hits: self.verdict_hits.get(),
+            verdict_misses: self.verdict_misses.get(),
+            verdict_flushes: self.verdict_flushes.get(),
+        }
+    }
+
+    // ---- translation cache ---------------------------------------------
+
+    /// Cached translation for `(root_gfn, vpn)`, counting hits/misses.
+    pub(crate) fn tlb_lookup(&self, root_gfn: u64, vpn: u64) -> Option<(u64, PteFlags)> {
+        if !self.enabled.get() {
+            return None;
+        }
+        let slot = tlb_slot(root_gfn, vpn);
+        match self.tlb.borrow()[slot] {
+            Some(e) if e.root_gfn == root_gfn && e.vpn == vpn => {
+                self.tlb_hits.set(self.tlb_hits.get() + 1);
+                Some((e.pfn, e.flags))
+            }
+            _ => {
+                self.tlb_misses.set(self.tlb_misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    /// Installs a translation produced by a successful walk.
+    pub(crate) fn tlb_fill(&self, root_gfn: u64, vpn: u64, pfn: u64, flags: PteFlags) {
+        if !self.enabled.get() {
+            return;
+        }
+        let slot = tlb_slot(root_gfn, vpn);
+        self.tlb.borrow_mut()[slot] = Some(TlbEntry { root_gfn, vpn, pfn, flags });
+    }
+
+    /// Records that the walker read a page-table entry from `gfn`, making
+    /// future stray writes to that frame full-flush triggers.
+    pub(crate) fn note_table_frame(&self, gfn: u64) {
+        if !self.enabled.get() {
+            return;
+        }
+        if let Some(slot) = self.table_frames.borrow_mut().get_mut(gfn as usize) {
+            *slot = true;
+        }
+    }
+
+    /// Precise single-entry invalidation (the INVLPG model). Used by the
+    /// structured page-table editors (`map`/`unmap`/`protect`).
+    pub(crate) fn tlb_invlpg(&self, root_gfn: u64, vpn: u64) {
+        if !self.enabled.get() {
+            return;
+        }
+        let slot = tlb_slot(root_gfn, vpn);
+        let mut tlb = self.tlb.borrow_mut();
+        if matches!(tlb[slot], Some(e) if e.root_gfn == root_gfn && e.vpn == vpn) {
+            tlb[slot] = None;
+        }
+        self.tlb_flushes.set(self.tlb_flushes.get() + 1);
+    }
+
+    /// Full translation flush (CR3-reload / broadcast-shootdown model).
+    /// Also forgets the sticky table-frame set: the cache is empty, so
+    /// nothing can go stale until the next walk re-marks its path.
+    pub(crate) fn tlb_flush_all(&self) {
+        if !self.enabled.get() {
+            return;
+        }
+        self.tlb.borrow_mut().fill(None);
+        self.table_frames.borrow_mut().fill(false);
+        self.tlb_flushes.set(self.tlb_flushes.get() + 1);
+    }
+
+    /// Write snoop: a raw/checked write touched `[first_gfn, last_gfn]`.
+    /// If any of those frames has served as a page table, software just
+    /// edited live tables outside the structured editors — full flush.
+    pub(crate) fn note_write(&self, first_gfn: u64, last_gfn: u64) {
+        if !self.enabled.get() {
+            return;
+        }
+        let hit = {
+            let frames = self.table_frames.borrow();
+            (first_gfn..=last_gfn).any(|g| frames.get(g as usize).copied().unwrap_or(false))
+        };
+        if hit {
+            self.tlb_flush_all();
+        }
+    }
+
+    // ---- verdict cache --------------------------------------------------
+
+    /// Whether a positive verdict for `(gfn, vmpl, access)` is cached,
+    /// counting hits/misses. Only meaningful when enabled.
+    pub(crate) fn verdict_lookup(&self, gfn: u64, vmpl: Vmpl, access: Access) -> bool {
+        if !self.enabled.get() {
+            return false;
+        }
+        let bit = verdict_bit(vmpl, access);
+        let hit = self.verdicts.borrow().get(gfn as usize).map(|w| w & bit != 0).unwrap_or(false);
+        if hit {
+            self.verdict_hits.set(self.verdict_hits.get() + 1);
+        } else {
+            self.verdict_misses.set(self.verdict_misses.get() + 1);
+        }
+        hit
+    }
+
+    /// Caches a positive verdict (negative verdicts are never cached —
+    /// a fault path re-checks the RMP every time, like hardware).
+    pub(crate) fn verdict_fill(&self, gfn: u64, vmpl: Vmpl, access: Access) {
+        if !self.enabled.get() {
+            return;
+        }
+        if let Some(w) = self.verdicts.borrow_mut().get_mut(gfn as usize) {
+            *w |= verdict_bit(vmpl, access);
+        }
+    }
+
+    /// Drops every cached verdict for `gfn` (all VMPLs — RMP-mutating
+    /// instructions demand a flush regardless of which mask changed).
+    pub(crate) fn verdict_invalidate(&self, gfn: u64) {
+        if !self.enabled.get() {
+            return;
+        }
+        if let Some(w) = self.verdicts.borrow_mut().get_mut(gfn as usize) {
+            if *w != 0 {
+                *w = 0;
+            }
+        }
+        self.verdict_flushes.set(self.verdict_flushes.get() + 1);
+    }
+
+    /// Full verdict flush.
+    pub(crate) fn verdict_flush_all(&self) {
+        if !self.enabled.get() {
+            return;
+        }
+        self.verdicts.borrow_mut().fill(0);
+        self.verdict_flushes.set(self.verdict_flushes.get() + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_caches_are_inert() {
+        let c = MachineCaches::new(16, false);
+        c.tlb_fill(1, 2, 3, PteFlags::user_data());
+        assert_eq!(c.tlb_lookup(1, 2), None);
+        c.verdict_fill(1, Vmpl::Vmpl3, Access::Read);
+        assert!(!c.verdict_lookup(1, Vmpl::Vmpl3, Access::Read));
+        assert!(c.stats().is_zero());
+    }
+
+    #[test]
+    fn tlb_fill_lookup_and_invlpg() {
+        let c = MachineCaches::new(16, true);
+        assert_eq!(c.tlb_lookup(7, 0x40), None); // cold miss
+        c.tlb_fill(7, 0x40, 9, PteFlags::user_data());
+        assert_eq!(c.tlb_lookup(7, 0x40), Some((9, PteFlags::user_data())));
+        // A different root does not alias into the same entry.
+        assert_eq!(c.tlb_lookup(8, 0x40), None);
+        c.tlb_invlpg(7, 0x40);
+        assert_eq!(c.tlb_lookup(7, 0x40), None);
+        let s = c.stats();
+        assert_eq!((s.tlb_hits, s.tlb_misses, s.tlb_flushes), (1, 3, 1));
+    }
+
+    #[test]
+    fn write_snoop_on_table_frame_flushes_everything() {
+        let c = MachineCaches::new(16, true);
+        c.note_table_frame(5);
+        c.tlb_fill(1, 0x10, 2, PteFlags::kernel_data());
+        c.note_write(3, 4); // not a table frame: entry survives
+        assert_eq!(c.tlb_lookup(1, 0x10), Some((2, PteFlags::kernel_data())));
+        c.note_write(4, 5); // range covers the table frame: full flush
+        assert_eq!(c.tlb_lookup(1, 0x10), None);
+        // The sticky set was forgotten too; the same write no longer flushes.
+        let before = c.stats().tlb_flushes;
+        c.note_write(5, 5);
+        assert_eq!(c.stats().tlb_flushes, before);
+    }
+
+    #[test]
+    fn verdict_bits_are_per_vmpl_and_access() {
+        let c = MachineCaches::new(16, true);
+        c.verdict_fill(3, Vmpl::Vmpl3, Access::Read);
+        assert!(c.verdict_lookup(3, Vmpl::Vmpl3, Access::Read));
+        assert!(!c.verdict_lookup(3, Vmpl::Vmpl3, Access::Write));
+        assert!(!c.verdict_lookup(3, Vmpl::Vmpl2, Access::Read));
+        assert!(!c.verdict_lookup(3, Vmpl::Vmpl3, Access::Execute(Cpl::Cpl3)));
+        c.verdict_invalidate(3);
+        assert!(!c.verdict_lookup(3, Vmpl::Vmpl3, Access::Read));
+    }
+
+    #[test]
+    fn toggling_enabled_drops_entries() {
+        let c = MachineCaches::new(16, true);
+        c.tlb_fill(1, 1, 1, PteFlags::user_data());
+        c.verdict_fill(1, Vmpl::Vmpl0, Access::Write);
+        c.set_enabled(false);
+        c.set_enabled(true);
+        assert_eq!(c.tlb_lookup(1, 1), None);
+        assert!(!c.verdict_lookup(1, Vmpl::Vmpl0, Access::Write));
+    }
+}

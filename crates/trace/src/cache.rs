@@ -1,0 +1,66 @@
+//! Counters for the machine's software TLB and RMP-verdict cache.
+//!
+//! These are *observability-only* statistics: they are never folded into
+//! [`crate::EventCounters`], never encoded into [`crate::Record`]s, and
+//! never hashed into the trace digest. That separation is load-bearing —
+//! the golden trace pins in `tests/protocol_trace.rs` must stay bit-stable
+//! whether the caches are enabled, disabled (`VEIL_NO_TLB=1`), hot, or
+//! cold. Cache activity may only ever show up here.
+
+/// Hit/miss/flush statistics for the software TLB (translation cache) and
+/// the RMP access-verdict cache.
+///
+/// All fields are monotonic counts since machine construction. When the
+/// caches are disabled every field stays zero, which is what lets the
+/// `inspect` tool zero-suppress these rows and keep non-TLB golden output
+/// unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Translations served from the TLB without a page-table walk.
+    pub tlb_hits: u64,
+    /// Translations that required a full 4-level walk.
+    pub tlb_misses: u64,
+    /// TLB invalidations: precise (INVLPG-style) single-entry drops and
+    /// full flushes each count once.
+    pub tlb_flushes: u64,
+    /// RMP permission checks served from the verdict cache.
+    pub verdict_hits: u64,
+    /// RMP permission checks that consulted the RMP itself.
+    pub verdict_misses: u64,
+    /// Verdict-cache invalidations (per-gfn drops and full flushes).
+    pub verdict_flushes: u64,
+}
+
+impl CacheCounters {
+    /// Whether any cache activity has been observed at all. Used for
+    /// zero-suppression in the inspection tooling.
+    pub fn is_zero(&self) -> bool {
+        *self == CacheCounters::default()
+    }
+
+    /// TLB hit rate in `[0, 1]`, or `None` before any lookup happened.
+    pub fn tlb_hit_rate(&self) -> Option<f64> {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.tlb_hits as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_detection_and_hit_rate() {
+        let mut c = CacheCounters::default();
+        assert!(c.is_zero());
+        assert_eq!(c.tlb_hit_rate(), None);
+        c.tlb_hits = 3;
+        c.tlb_misses = 1;
+        assert!(!c.is_zero());
+        assert_eq!(c.tlb_hit_rate(), Some(0.75));
+    }
+}

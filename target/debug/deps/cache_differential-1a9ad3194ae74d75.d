@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_differential-1a9ad3194ae74d75.d: tests/cache_differential.rs
+
+/root/repo/target/debug/deps/cache_differential-1a9ad3194ae74d75: tests/cache_differential.rs
+
+tests/cache_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_differential-a821c02183aef58b.d: tests/cache_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_differential-a821c02183aef58b.rmeta: tests/cache_differential.rs Cargo.toml
+
+tests/cache_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -6,5 +6,5 @@ tests/hermeticity.rs:
 Cargo.toml:
 
 # env-dep:CARGO_MANIFEST_DIR=/root/repo
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

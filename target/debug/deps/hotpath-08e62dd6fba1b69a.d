@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotpath-08e62dd6fba1b69a.d: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath-08e62dd6fba1b69a.rmeta: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+crates/bench/src/bin/hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath-791b43c46df6304c.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-791b43c46df6304c: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stale_tlb-0b522431c6d5a547.d: tests/stale_tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstale_tlb-0b522431c6d5a547.rmeta: tests/stale_tlb.rs Cargo.toml
+
+tests/stale_tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stale_tlb-7b0d80a386b2c42c.d: tests/stale_tlb.rs
+
+/root/repo/target/debug/deps/stale_tlb-7b0d80a386b2c42c: tests/stale_tlb.rs
+
+tests/stale_tlb.rs:

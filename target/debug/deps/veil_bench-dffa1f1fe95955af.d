@@ -7,5 +7,5 @@ crates/bench/src/experiments.rs:
 crates/bench/src/fmt.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

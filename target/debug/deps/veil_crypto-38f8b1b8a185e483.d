@@ -12,5 +12,5 @@ crates/crypto/src/hmac.rs:
 crates/crypto/src/sha256.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

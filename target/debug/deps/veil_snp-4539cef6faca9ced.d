@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/veil_snp-4539cef6faca9ced.d: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs
+/root/repo/target/debug/deps/veil_snp-4539cef6faca9ced.d: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/tlb.rs crates/snp/src/vmsa.rs
 
-/root/repo/target/debug/deps/veil_snp-4539cef6faca9ced: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs
+/root/repo/target/debug/deps/veil_snp-4539cef6faca9ced: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/tlb.rs crates/snp/src/vmsa.rs
 
 crates/snp/src/lib.rs:
 crates/snp/src/attest.rs:
@@ -12,4 +12,5 @@ crates/snp/src/mem.rs:
 crates/snp/src/perms.rs:
 crates/snp/src/pt.rs:
 crates/snp/src/rmp.rs:
+crates/snp/src/tlb.rs:
 crates/snp/src/vmsa.rs:

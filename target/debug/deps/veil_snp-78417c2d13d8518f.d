@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/veil_snp-78417c2d13d8518f.d: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs
+/root/repo/target/debug/deps/veil_snp-78417c2d13d8518f.d: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/tlb.rs crates/snp/src/vmsa.rs
 
-/root/repo/target/debug/deps/libveil_snp-78417c2d13d8518f.rlib: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs
+/root/repo/target/debug/deps/libveil_snp-78417c2d13d8518f.rlib: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/tlb.rs crates/snp/src/vmsa.rs
 
-/root/repo/target/debug/deps/libveil_snp-78417c2d13d8518f.rmeta: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs
+/root/repo/target/debug/deps/libveil_snp-78417c2d13d8518f.rmeta: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/tlb.rs crates/snp/src/vmsa.rs
 
 crates/snp/src/lib.rs:
 crates/snp/src/attest.rs:
@@ -14,4 +14,5 @@ crates/snp/src/mem.rs:
 crates/snp/src/perms.rs:
 crates/snp/src/pt.rs:
 crates/snp/src/rmp.rs:
+crates/snp/src/tlb.rs:
 crates/snp/src/vmsa.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/veil_snp-9d978b3dada02513.d: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs Cargo.toml
+/root/repo/target/debug/deps/veil_snp-9d978b3dada02513.d: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/tlb.rs crates/snp/src/vmsa.rs Cargo.toml
 
-/root/repo/target/debug/deps/libveil_snp-9d978b3dada02513.rmeta: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/vmsa.rs Cargo.toml
+/root/repo/target/debug/deps/libveil_snp-9d978b3dada02513.rmeta: crates/snp/src/lib.rs crates/snp/src/attest.rs crates/snp/src/cost.rs crates/snp/src/fault.rs crates/snp/src/ghcb.rs crates/snp/src/machine.rs crates/snp/src/mem.rs crates/snp/src/perms.rs crates/snp/src/pt.rs crates/snp/src/rmp.rs crates/snp/src/tlb.rs crates/snp/src/vmsa.rs Cargo.toml
 
 crates/snp/src/lib.rs:
 crates/snp/src/attest.rs:
@@ -12,8 +12,9 @@ crates/snp/src/mem.rs:
 crates/snp/src/perms.rs:
 crates/snp/src/pt.rs:
 crates/snp/src/rmp.rs:
+crates/snp/src/tlb.rs:
 crates/snp/src/vmsa.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

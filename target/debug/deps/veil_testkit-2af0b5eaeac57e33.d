@@ -10,5 +10,5 @@ crates/testkit/src/rng.rs:
 crates/testkit/src/trace.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/veil_trace-965ae989bacf1a4a.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
+/root/repo/target/debug/deps/veil_trace-965ae989bacf1a4a.d: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
 
-/root/repo/target/debug/deps/veil_trace-965ae989bacf1a4a: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
+/root/repo/target/debug/deps/veil_trace-965ae989bacf1a4a: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
 
 crates/trace/src/lib.rs:
+crates/trace/src/cache.rs:
 crates/trace/src/event.rs:
 crates/trace/src/invariants_impl.rs:
 crates/trace/src/tracer.rs:

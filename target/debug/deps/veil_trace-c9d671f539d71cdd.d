@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/veil_trace-c9d671f539d71cdd.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
+/root/repo/target/debug/deps/veil_trace-c9d671f539d71cdd.d: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
 
-/root/repo/target/debug/deps/libveil_trace-c9d671f539d71cdd.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
+/root/repo/target/debug/deps/libveil_trace-c9d671f539d71cdd.rlib: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
 
-/root/repo/target/debug/deps/libveil_trace-c9d671f539d71cdd.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
+/root/repo/target/debug/deps/libveil_trace-c9d671f539d71cdd.rmeta: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
 
 crates/trace/src/lib.rs:
+crates/trace/src/cache.rs:
 crates/trace/src/event.rs:
 crates/trace/src/invariants_impl.rs:
 crates/trace/src/tracer.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/veil_trace-e67e4e90722d2806.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs Cargo.toml
+/root/repo/target/debug/deps/veil_trace-e67e4e90722d2806.d: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs Cargo.toml
 
-/root/repo/target/debug/deps/libveil_trace-e67e4e90722d2806.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs Cargo.toml
+/root/repo/target/debug/deps/libveil_trace-e67e4e90722d2806.rmeta: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs Cargo.toml
 
 crates/trace/src/lib.rs:
+crates/trace/src/cache.rs:
 crates/trace/src/event.rs:
 crates/trace/src/invariants_impl.rs:
 crates/trace/src/tracer.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

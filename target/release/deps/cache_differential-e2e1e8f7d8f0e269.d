@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_differential-e2e1e8f7d8f0e269.d: tests/cache_differential.rs
+
+/root/repo/target/release/deps/cache_differential-e2e1e8f7d8f0e269: tests/cache_differential.rs
+
+tests/cache_differential.rs:

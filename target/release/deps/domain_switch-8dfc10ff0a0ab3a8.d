@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/domain_switch-8dfc10ff0a0ab3a8.d: crates/bench/benches/domain_switch.rs
+
+/root/repo/target/release/deps/domain_switch-8dfc10ff0a0ab3a8: crates/bench/benches/domain_switch.rs
+
+crates/bench/benches/domain_switch.rs:

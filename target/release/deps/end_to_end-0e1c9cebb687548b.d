@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-0e1c9cebb687548b.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-0e1c9cebb687548b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments_regression-3b74d871a79e4060.d: tests/experiments_regression.rs
+
+/root/repo/target/release/deps/experiments_regression-3b74d871a79e4060: tests/experiments_regression.rs
+
+tests/experiments_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-9bd93e3025ddd14f.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-9bd93e3025ddd14f: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-1d983d9563d181dc.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-1d983d9563d181dc: tests/failure_injection.rs
+
+tests/failure_injection.rs:

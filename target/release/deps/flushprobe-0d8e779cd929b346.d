@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flushprobe-0d8e779cd929b346.d: crates/bench/src/bin/flushprobe.rs
+
+/root/repo/target/release/deps/flushprobe-0d8e779cd929b346: crates/bench/src/bin/flushprobe.rs
+
+crates/bench/src/bin/flushprobe.rs:

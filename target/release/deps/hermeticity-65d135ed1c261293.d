@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hermeticity-65d135ed1c261293.d: tests/hermeticity.rs
+
+/root/repo/target/release/deps/hermeticity-65d135ed1c261293: tests/hermeticity.rs
+
+tests/hermeticity.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-04178c17f0e9f5f8.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-04178c17f0e9f5f8: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ltp_suite-cdfb9bca28c1c342.d: tests/ltp_suite.rs
+
+/root/repo/target/release/deps/ltp_suite-cdfb9bca28c1c342: tests/ltp_suite.rs
+
+tests/ltp_suite.rs:

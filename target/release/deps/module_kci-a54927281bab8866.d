@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/module_kci-a54927281bab8866.d: crates/bench/benches/module_kci.rs
+
+/root/repo/target/release/deps/module_kci-a54927281bab8866: crates/bench/benches/module_kci.rs
+
+crates/bench/benches/module_kci.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e55334078161110c.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-e55334078161110c: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_trace-8827f070f300b5d4.d: tests/protocol_trace.rs
+
+/root/repo/target/release/deps/protocol_trace-8827f070f300b5d4: tests/protocol_trace.rs
+
+tests/protocol_trace.rs:

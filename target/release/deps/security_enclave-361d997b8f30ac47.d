@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_enclave-361d997b8f30ac47.d: tests/security_enclave.rs
+
+/root/repo/target/release/deps/security_enclave-361d997b8f30ac47: tests/security_enclave.rs
+
+tests/security_enclave.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_framework-5da0ab1a398073ba.d: tests/security_framework.rs
+
+/root/repo/target/release/deps/security_framework-5da0ab1a398073ba: tests/security_framework.rs
+
+tests/security_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_validation-2f32ec67078c201e.d: tests/security_validation.rs
+
+/root/repo/target/release/deps/security_validation-2f32ec67078c201e: tests/security_validation.rs
+
+tests/security_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stale_tlb-1f98611cd2009ce6.d: tests/stale_tlb.rs
+
+/root/repo/target/release/deps/stale_tlb-1f98611cd2009ce6: tests/stale_tlb.rs
+
+tests/stale_tlb.rs:

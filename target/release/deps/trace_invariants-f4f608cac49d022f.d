@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_invariants-f4f608cac49d022f.d: tests/trace_invariants.rs
+
+/root/repo/target/release/deps/trace_invariants-f4f608cac49d022f: tests/trace_invariants.rs
+
+tests/trace_invariants.rs:

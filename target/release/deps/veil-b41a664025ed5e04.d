@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/veil-b41a664025ed5e04.d: src/lib.rs
+
+/root/repo/target/release/deps/veil-b41a664025ed5e04: src/lib.rs
+
+src/lib.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/veil_trace-d14c710ebb650291.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
+/root/repo/target/release/deps/veil_trace-d14c710ebb650291.d: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
 
-/root/repo/target/release/deps/libveil_trace-d14c710ebb650291.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
+/root/repo/target/release/deps/libveil_trace-d14c710ebb650291.rlib: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
 
-/root/repo/target/release/deps/libveil_trace-d14c710ebb650291.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
+/root/repo/target/release/deps/libveil_trace-d14c710ebb650291.rmeta: crates/trace/src/lib.rs crates/trace/src/cache.rs crates/trace/src/event.rs crates/trace/src/invariants_impl.rs crates/trace/src/tracer.rs
 
 crates/trace/src/lib.rs:
+crates/trace/src/cache.rs:
 crates/trace/src/event.rs:
 crates/trace/src/invariants_impl.rs:
 crates/trace/src/tracer.rs:

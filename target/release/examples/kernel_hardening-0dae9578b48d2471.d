@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kernel_hardening-0dae9578b48d2471.d: examples/kernel_hardening.rs
+
+/root/repo/target/release/examples/kernel_hardening-0dae9578b48d2471: examples/kernel_hardening.rs
+
+examples/kernel_hardening.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_tenant_enclaves-83bd4408cb63b6d9.d: examples/multi_tenant_enclaves.rs
+
+/root/repo/target/release/examples/multi_tenant_enclaves-83bd4408cb63b6d9: examples/multi_tenant_enclaves.rs
+
+examples/multi_tenant_enclaves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-01012ed6e8685748.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-01012ed6e8685748: examples/quickstart.rs
+
+examples/quickstart.rs:

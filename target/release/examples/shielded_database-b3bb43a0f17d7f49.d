@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/shielded_database-b3bb43a0f17d7f49.d: examples/shielded_database.rs
+
+/root/repo/target/release/examples/shielded_database-b3bb43a0f17d7f49: examples/shielded_database.rs
+
+examples/shielded_database.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tamper_proof_forensics-e84afcff8e96f437.d: examples/tamper_proof_forensics.rs
+
+/root/repo/target/release/examples/tamper_proof_forensics-e84afcff8e96f437: examples/tamper_proof_forensics.rs
+
+examples/tamper_proof_forensics.rs:

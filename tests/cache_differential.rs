@@ -1,0 +1,348 @@
+//! Twin-execution differential harness for the software TLB + RMP
+//! verdict cache.
+//!
+//! The caches in `veil-snp` are *architecturally invisible*: they charge
+//! zero cycles, emit zero trace events, and every invalidation mirrors
+//! the flush real SNP hardware forces. This harness proves it the blunt
+//! way: the same randomized operation schedule is executed on two twin
+//! machines — one with the caches enabled, one with `VEIL_NO_TLB`-style
+//! caching disabled — and every observable output must be bit-identical:
+//! each operation's result, the final cycle totals (global and
+//! per-domain), and the deterministic trace digest.
+//!
+//! Any stale-entry bug (a cached translation or verdict honored after
+//! `rmpadjust`/`pvalidate`/`unmap`/`protect`/page-state changes should
+//! have killed it) shows up here as a diverging result log, with a
+//! `VEIL_TEST_SEED` line that replays the exact schedule.
+
+use veil_snp::machine::{Machine, MachineConfig};
+use veil_snp::perms::{Access, Cpl, Vmpl, VmplPerms};
+use veil_snp::pt::{AddressSpace, PteFlags};
+use veil_testkit::prop::{bools, check, one_of, tuple2, tuple3, u64s, u8s, usizes, vecs, Strategy};
+use veil_testkit::{prop_assert, prop_assert_eq};
+
+const FRAMES: u64 = 128;
+const DATA_FRAMES: usize = 12;
+const VA_SLOTS: u64 = 24;
+const VA_BASE: u64 = 0x4000_0000;
+
+/// One step of a randomized schedule. The mix deliberately interleaves
+/// RMP mutation (which must invalidate verdicts), page-table edits
+/// (which must invalidate translations), raw guest/host writes (which
+/// must be snooped against cached table frames), and the read paths
+/// that consult both caches.
+#[derive(Debug, Clone)]
+enum Op {
+    Assign(u64),
+    Reclaim(u64),
+    Pvalidate { gfn: u64, validate: bool },
+    Rmpadjust { gfn: u64, target: usize, perms: u8 },
+    VmsaCreate(u64),
+    VmsaDestroy(u64),
+    GuestRead { vmpl: usize, gfn: u64 },
+    GuestWrite { vmpl: usize, gfn: u64 },
+    HvWrite(u64),
+    CheckExec { vmpl: usize, cpl: bool, gfn: u64 },
+    Map { slot: u64, frame: usize, writable: bool },
+    Unmap { slot: u64 },
+    Protect { slot: u64, writable: bool },
+    Translate { slot: u64 },
+    AccessCheck { slot: u64, write: bool },
+    ReadVirt { slot: u64 },
+    WriteVirt { slot: u64, byte: u8 },
+}
+
+fn op_strategy() -> Strategy<Op> {
+    let gfn = || u64s(1..FRAMES);
+    let slot = || u64s(0..VA_SLOTS);
+    one_of(vec![
+        gfn().map(Op::Assign),
+        gfn().map(Op::Reclaim),
+        tuple2(gfn(), bools()).map(|(gfn, validate)| Op::Pvalidate { gfn, validate }),
+        tuple3(gfn(), usizes(1..4), u8s(0..16)).map(|(gfn, target, perms)| Op::Rmpadjust {
+            gfn,
+            target,
+            perms,
+        }),
+        gfn().map(Op::VmsaCreate),
+        gfn().map(Op::VmsaDestroy),
+        tuple2(usizes(0..4), gfn()).map(|(vmpl, gfn)| Op::GuestRead { vmpl, gfn }),
+        tuple2(usizes(0..4), gfn()).map(|(vmpl, gfn)| Op::GuestWrite { vmpl, gfn }),
+        gfn().map(Op::HvWrite),
+        tuple3(usizes(0..4), bools(), gfn()).map(|(vmpl, cpl, gfn)| Op::CheckExec {
+            vmpl,
+            cpl,
+            gfn,
+        }),
+        tuple3(slot(), usizes(0..DATA_FRAMES), bools()).map(|(slot, frame, writable)| Op::Map {
+            slot,
+            frame,
+            writable,
+        }),
+        slot().map(|slot| Op::Unmap { slot }),
+        tuple2(slot(), bools()).map(|(slot, writable)| Op::Protect { slot, writable }),
+        slot().map(|slot| Op::Translate { slot }),
+        tuple2(slot(), bools()).map(|(slot, write)| Op::AccessCheck { slot, write }),
+        slot().map(|slot| Op::ReadVirt { slot }),
+        tuple2(slot(), u8s(0..255)).map(|(slot, byte)| Op::WriteVirt { slot, byte }),
+    ])
+}
+
+/// Everything an execution exposes to the outside world.
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    /// One compact line per operation: the `Debug` of its result.
+    results: Vec<String>,
+    total_cycles: u64,
+    domain_cycles: [u64; 4],
+    digest: String,
+}
+
+/// Runs one schedule on a fresh machine with caching on or off.
+fn execute(ops: &[Op], cache_enabled: bool) -> Observation {
+    let mut m = Machine::new(MachineConfig { frames: FRAMES as usize, ..Default::default() });
+    m.set_cache_enabled(cache_enabled);
+    m.tracer_mut().set_enabled(true);
+
+    // Validate and fully grant a pool of frames, then build a VMPL-3
+    // address space over some of them — the same prologue on both twins.
+    let mut free: Vec<u64> = Vec::new();
+    for gfn in 1..FRAMES {
+        m.rmp_assign(gfn).unwrap();
+        m.pvalidate(Vmpl::Vmpl0, gfn, true).unwrap();
+        for v in [Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3] {
+            m.rmpadjust(Vmpl::Vmpl0, gfn, v, VmplPerms::all()).unwrap();
+        }
+        free.push(gfn);
+    }
+    free.reverse();
+    let aspace = AddressSpace::new(&mut m, Vmpl::Vmpl3, &mut free).unwrap();
+    let data_frames: Vec<u64> = (0..DATA_FRAMES).map(|_| free.pop().unwrap()).collect();
+
+    let mut results = Vec::with_capacity(ops.len());
+    for op in ops {
+        let line = match *op {
+            Op::Assign(gfn) => format!("{:?}", m.rmp_assign(gfn)),
+            Op::Reclaim(gfn) => format!("{:?}", m.rmp_reclaim(gfn)),
+            Op::Pvalidate { gfn, validate } => {
+                format!("{:?}", m.pvalidate(Vmpl::Vmpl0, gfn, validate))
+            }
+            Op::Rmpadjust { gfn, target, perms } => {
+                let t = Vmpl::from_index(target).unwrap();
+                let p = VmplPerms::from_bits_truncate(perms);
+                format!("{:?}", m.rmpadjust(Vmpl::Vmpl0, gfn, t, p))
+            }
+            Op::VmsaCreate(gfn) => {
+                format!("{:?}", m.vmsa_create(Vmpl::Vmpl0, gfn, 0, Vmpl::Vmpl1, Cpl::Cpl0))
+            }
+            Op::VmsaDestroy(gfn) => format!("{:?}", m.vmsa_destroy(Vmpl::Vmpl0, gfn)),
+            Op::GuestRead { vmpl, gfn } => {
+                let v = Vmpl::from_index(vmpl).unwrap();
+                format!("{:?}", m.read(v, Machine::gpa(gfn), 8))
+            }
+            Op::GuestWrite { vmpl, gfn } => {
+                let v = Vmpl::from_index(vmpl).unwrap();
+                format!("{:?}", m.write(v, Machine::gpa(gfn), &[vmpl as u8; 8]))
+            }
+            Op::HvWrite(gfn) => format!("{:?}", m.hv_write(Machine::gpa(gfn), b"host....")),
+            Op::CheckExec { vmpl, cpl, gfn } => {
+                let v = Vmpl::from_index(vmpl).unwrap();
+                let c = if cpl { Cpl::Cpl3 } else { Cpl::Cpl0 };
+                format!("{:?}", m.check_exec(v, c, Machine::gpa(gfn)))
+            }
+            Op::Map { slot, frame, writable } => {
+                let vaddr = VA_BASE + slot * 4096;
+                let pfn = data_frames[frame % data_frames.len()];
+                let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
+                format!("{:?}", aspace.map(&mut m, Vmpl::Vmpl3, &mut free, vaddr, pfn, flags))
+            }
+            Op::Unmap { slot } => {
+                format!("{:?}", aspace.unmap(&mut m, Vmpl::Vmpl3, VA_BASE + slot * 4096))
+            }
+            Op::Protect { slot, writable } => {
+                let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
+                format!("{:?}", aspace.protect(&mut m, Vmpl::Vmpl3, VA_BASE + slot * 4096, flags))
+            }
+            Op::Translate { slot } => {
+                format!("{:?}", aspace.translate(&m, VA_BASE + slot * 4096))
+            }
+            Op::AccessCheck { slot, write } => {
+                let access = if write { Access::Write } else { Access::Read };
+                format!(
+                    "{:?}",
+                    aspace.access(&m, VA_BASE + slot * 4096, Vmpl::Vmpl3, Cpl::Cpl3, access)
+                )
+            }
+            Op::ReadVirt { slot } => {
+                format!(
+                    "{:?}",
+                    aspace.read_virt(&m, VA_BASE + slot * 4096, 16, Vmpl::Vmpl3, Cpl::Cpl3)
+                )
+            }
+            Op::WriteVirt { slot, byte } => {
+                format!(
+                    "{:?}",
+                    aspace.write_virt(
+                        &mut m,
+                        VA_BASE + slot * 4096,
+                        &[byte; 16],
+                        Vmpl::Vmpl3,
+                        Cpl::Cpl3
+                    )
+                )
+            }
+        };
+        results.push(line);
+    }
+
+    Observation {
+        results,
+        total_cycles: m.cycles().total(),
+        domain_cycles: m.domain_cycles(),
+        digest: m.tracer().digest_hex(),
+    }
+}
+
+/// 100 random schedules, each executed twice — caches on and caches
+/// off — must be observationally identical: same per-op results, same
+/// cycle totals, same trace digest.
+#[test]
+fn twin_execution_is_cache_invariant() {
+    check("twin_execution_is_cache_invariant", 100, &vecs(op_strategy(), 1..250), |ops| {
+        let cached = execute(&ops, true);
+        let uncached = execute(&ops, false);
+        for (i, (a, b)) in cached.results.iter().zip(&uncached.results).enumerate() {
+            prop_assert!(a == b, "op {i} ({:?}) diverged: cached {a} vs uncached {b}", ops[i]);
+        }
+        prop_assert_eq!(cached.total_cycles, uncached.total_cycles);
+        prop_assert_eq!(cached.domain_cycles, uncached.domain_cycles);
+        prop_assert_eq!(&cached.digest, &uncached.digest);
+        Ok(())
+    });
+}
+
+/// Toggling the cache off mid-run (the `VEIL_NO_TLB` escape hatch) and
+/// back on is also invisible: a run that flips the switch between every
+/// operation matches the always-off twin.
+#[test]
+fn mid_run_toggle_is_invisible() {
+    check("mid_run_toggle_is_invisible", 25, &vecs(op_strategy(), 1..120), |ops| {
+        let uncached = execute(&ops, false);
+
+        let mut m = Machine::new(MachineConfig { frames: FRAMES as usize, ..Default::default() });
+        m.tracer_mut().set_enabled(true);
+        let mut free: Vec<u64> = Vec::new();
+        for gfn in 1..FRAMES {
+            m.rmp_assign(gfn).unwrap();
+            m.pvalidate(Vmpl::Vmpl0, gfn, true).unwrap();
+            for v in [Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3] {
+                m.rmpadjust(Vmpl::Vmpl0, gfn, v, VmplPerms::all()).unwrap();
+            }
+            free.push(gfn);
+        }
+        free.reverse();
+        let aspace = AddressSpace::new(&mut m, Vmpl::Vmpl3, &mut free).unwrap();
+        let data_frames: Vec<u64> = (0..DATA_FRAMES).map(|_| free.pop().unwrap()).collect();
+
+        for (i, op) in ops.iter().enumerate() {
+            m.set_cache_enabled(i % 2 == 0);
+            // Reuse the single-op semantics by executing inline; only
+            // the read paths matter for divergence, so check them.
+            match *op {
+                Op::Translate { slot } => {
+                    let r = format!("{:?}", aspace.translate(&m, VA_BASE + slot * 4096));
+                    prop_assert_eq!(&r, &uncached.results[i]);
+                }
+                Op::ReadVirt { slot } => {
+                    let r = format!(
+                        "{:?}",
+                        aspace.read_virt(&m, VA_BASE + slot * 4096, 16, Vmpl::Vmpl3, Cpl::Cpl3)
+                    );
+                    prop_assert_eq!(&r, &uncached.results[i]);
+                }
+                _ => {
+                    // Replay the op exactly as `execute` does so state
+                    // stays in lockstep with the uncached twin.
+                    replay(&mut m, &aspace, &mut free, &data_frames, op, &uncached.results[i])?;
+                }
+            }
+        }
+        prop_assert_eq!(m.cycles().total(), uncached.total_cycles);
+        prop_assert_eq!(&m.tracer().digest_hex(), &uncached.digest);
+        Ok(())
+    });
+}
+
+/// Applies `op` to `m` and checks the result line against the expected
+/// uncached outcome.
+fn replay(
+    m: &mut Machine,
+    aspace: &AddressSpace,
+    free: &mut Vec<u64>,
+    data_frames: &[u64],
+    op: &Op,
+    expected: &str,
+) -> Result<(), String> {
+    let line = match *op {
+        Op::Assign(gfn) => format!("{:?}", m.rmp_assign(gfn)),
+        Op::Reclaim(gfn) => format!("{:?}", m.rmp_reclaim(gfn)),
+        Op::Pvalidate { gfn, validate } => {
+            format!("{:?}", m.pvalidate(Vmpl::Vmpl0, gfn, validate))
+        }
+        Op::Rmpadjust { gfn, target, perms } => {
+            let t = Vmpl::from_index(target).unwrap();
+            let p = VmplPerms::from_bits_truncate(perms);
+            format!("{:?}", m.rmpadjust(Vmpl::Vmpl0, gfn, t, p))
+        }
+        Op::VmsaCreate(gfn) => {
+            format!("{:?}", m.vmsa_create(Vmpl::Vmpl0, gfn, 0, Vmpl::Vmpl1, Cpl::Cpl0))
+        }
+        Op::VmsaDestroy(gfn) => format!("{:?}", m.vmsa_destroy(Vmpl::Vmpl0, gfn)),
+        Op::GuestRead { vmpl, gfn } => {
+            let v = Vmpl::from_index(vmpl).unwrap();
+            format!("{:?}", m.read(v, Machine::gpa(gfn), 8))
+        }
+        Op::GuestWrite { vmpl, gfn } => {
+            let v = Vmpl::from_index(vmpl).unwrap();
+            format!("{:?}", m.write(v, Machine::gpa(gfn), &[vmpl as u8; 8]))
+        }
+        Op::HvWrite(gfn) => format!("{:?}", m.hv_write(Machine::gpa(gfn), b"host....")),
+        Op::CheckExec { vmpl, cpl, gfn } => {
+            let v = Vmpl::from_index(vmpl).unwrap();
+            let c = if cpl { Cpl::Cpl3 } else { Cpl::Cpl0 };
+            format!("{:?}", m.check_exec(v, c, Machine::gpa(gfn)))
+        }
+        Op::Map { slot, frame, writable } => {
+            let vaddr = VA_BASE + slot * 4096;
+            let pfn = data_frames[frame % data_frames.len()];
+            let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
+            format!("{:?}", aspace.map(m, Vmpl::Vmpl3, free, vaddr, pfn, flags))
+        }
+        Op::Unmap { slot } => {
+            format!("{:?}", aspace.unmap(m, Vmpl::Vmpl3, VA_BASE + slot * 4096))
+        }
+        Op::Protect { slot, writable } => {
+            let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
+            format!("{:?}", aspace.protect(m, Vmpl::Vmpl3, VA_BASE + slot * 4096, flags))
+        }
+        Op::Translate { slot } => format!("{:?}", aspace.translate(m, VA_BASE + slot * 4096)),
+        Op::AccessCheck { slot, write } => {
+            let access = if write { Access::Write } else { Access::Read };
+            format!("{:?}", aspace.access(m, VA_BASE + slot * 4096, Vmpl::Vmpl3, Cpl::Cpl3, access))
+        }
+        Op::ReadVirt { slot } => {
+            format!("{:?}", aspace.read_virt(m, VA_BASE + slot * 4096, 16, Vmpl::Vmpl3, Cpl::Cpl3))
+        }
+        Op::WriteVirt { slot, byte } => {
+            format!(
+                "{:?}",
+                aspace.write_virt(m, VA_BASE + slot * 4096, &[byte; 16], Vmpl::Vmpl3, Cpl::Cpl3)
+            )
+        }
+    };
+    if line == expected {
+        Ok(())
+    } else {
+        Err(format!("replay diverged: got {line}, want {expected}"))
+    }
+}

@@ -1,0 +1,217 @@
+//! Stale-TLB attack regression tests.
+//!
+//! The software TLB and the RMP-verdict cache (PR 3) speed up the hot
+//! path, but a cache is also an attack surface: if a translation or a
+//! positive RMP verdict cached *before* a revocation event survives it,
+//! a domain keeps access the RMP says it no longer has. Each test here
+//! deliberately warms a cache, performs the revoking operation
+//! (`unmap`/`protect`/`RMPADJUST`/page-state change), and proves the
+//! `#PF`/`#NPF` still fires. One test drives the revocation through the
+//! hypervisor's GHCB page-state-change flow with every hostile
+//! [`HvPolicy`] knob engaged, so no policy combination can skip the
+//! flush.
+//!
+//! [`HvPolicy`]: veil_hv::HvPolicy
+
+use veil_hv::{HvPolicy, HvResponse, Hypervisor};
+use veil_snp::ghcb::{Ghcb, GhcbExit};
+use veil_snp::machine::{Machine, MachineConfig};
+use veil_snp::perms::{Access, Cpl, Vmpl, VmplPerms};
+use veil_snp::pt::{AddressSpace, PtError, PteFlags};
+
+const FRAMES: usize = 128;
+
+/// A machine with every frame from 1 validated and fully granted, plus a
+/// VMPL-3 address space with one page mapped at `VADDR`.
+fn setup() -> (Machine, AddressSpace, Vec<u64>, u64) {
+    let mut m = Machine::new(MachineConfig { frames: FRAMES, ..Default::default() });
+    // The tests must exercise the cache even under `VEIL_NO_TLB=1` CI
+    // runs — they are only meaningful with caching force-enabled.
+    m.set_cache_enabled(true);
+    let mut free: Vec<u64> = Vec::new();
+    for gfn in 1..FRAMES as u64 {
+        m.rmp_assign(gfn).unwrap();
+        m.pvalidate(Vmpl::Vmpl0, gfn, true).unwrap();
+        for v in [Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3] {
+            m.rmpadjust(Vmpl::Vmpl0, gfn, v, VmplPerms::all()).unwrap();
+        }
+        free.push(gfn);
+    }
+    free.reverse();
+    let aspace = AddressSpace::new(&mut m, Vmpl::Vmpl3, &mut free).unwrap();
+    let pfn = free.pop().unwrap();
+    aspace.map(&mut m, Vmpl::Vmpl3, &mut free, VADDR, pfn, PteFlags::user_data()).unwrap();
+    (m, aspace, free, pfn)
+}
+
+const VADDR: u64 = 0x4000_0000;
+
+#[test]
+fn stale_translation_after_unmap_faults() {
+    let (mut m, aspace, _free, pfn) = setup();
+    // Warm the translation cache and prove it is serving hits.
+    aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).unwrap();
+    let before = m.cache_stats();
+    aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).unwrap();
+    assert!(m.cache_stats().tlb_hits > before.tlb_hits, "second walk must hit the TLB");
+
+    assert_eq!(aspace.unmap(&mut m, Vmpl::Vmpl3, VADDR).unwrap(), pfn);
+
+    // The cached translation must not be honored after the unmap.
+    assert!(matches!(aspace.translate(&m, VADDR), Err(PtError::NotMapped { .. })));
+    assert!(aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).is_err());
+}
+
+#[test]
+fn stale_translation_after_protect_faults_on_write() {
+    let (mut m, aspace, _free, _pfn) = setup();
+    // Warm with a *write* so the writable flags are what gets cached.
+    aspace.write_virt(&mut m, VADDR, b"warmup!!", Vmpl::Vmpl3, Cpl::Cpl3).unwrap();
+
+    aspace.protect(&mut m, Vmpl::Vmpl3, VADDR, PteFlags::user_ro()).unwrap();
+
+    // Reads still work; the cached writable PTE must be gone.
+    aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).unwrap();
+    assert!(matches!(
+        aspace.write_virt(&mut m, VADDR, b"stale!!!", Vmpl::Vmpl3, Cpl::Cpl3),
+        Err(PtError::PageFault { access: Access::Write, .. })
+    ));
+}
+
+#[test]
+fn stale_verdict_after_rmpadjust_revoke_faults() {
+    let (mut m, aspace, _free, pfn) = setup();
+    // Warm the verdict cache through the virtual path and directly.
+    aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).unwrap();
+    let before = m.cache_stats();
+    m.read(Vmpl::Vmpl3, Machine::gpa(pfn), 8).unwrap();
+    assert!(m.cache_stats().verdict_hits > before.verdict_hits, "verdict must be cached");
+
+    // VeilMon revokes VMPL-3 access (the §5.1 protection operation).
+    m.rmpadjust(Vmpl::Vmpl0, pfn, Vmpl::Vmpl3, VmplPerms::empty()).unwrap();
+
+    // Both the physical and the virtual path must fault now.
+    assert!(m.read(Vmpl::Vmpl3, Machine::gpa(pfn), 8).is_err());
+    assert!(m.write(Vmpl::Vmpl3, Machine::gpa(pfn), b"x").is_err());
+    assert!(aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).is_err());
+    // VMPL-0 retains access (revocation was targeted, not a wipe).
+    m.read(Vmpl::Vmpl0, Machine::gpa(pfn), 8).unwrap();
+}
+
+#[test]
+fn stale_verdict_after_exec_revoke_faults() {
+    let (mut m, _aspace, mut free, _pfn) = setup();
+    let code = free.pop().unwrap();
+    // Warm the per-(vmpl, cpl) execute verdict.
+    m.check_exec(Vmpl::Vmpl3, Cpl::Cpl3, Machine::gpa(code)).unwrap();
+    m.check_exec(Vmpl::Vmpl3, Cpl::Cpl3, Machine::gpa(code)).unwrap();
+
+    // Drop USER_EXEC but keep read/write: only the exec verdict dies.
+    m.rmpadjust(Vmpl::Vmpl0, code, Vmpl::Vmpl3, VmplPerms::rw()).unwrap();
+
+    assert!(m.check_exec(Vmpl::Vmpl3, Cpl::Cpl3, Machine::gpa(code)).is_err());
+    m.read(Vmpl::Vmpl3, Machine::gpa(code), 8).unwrap();
+}
+
+#[test]
+fn stale_verdict_after_reassign_faults() {
+    // A verdict cached while a page was validated must not survive the
+    // page bouncing out to shared and back in as unvalidated.
+    let (mut m, _aspace, mut free, _pfn) = setup();
+    let gfn = free.pop().unwrap();
+    m.read(Vmpl::Vmpl3, Machine::gpa(gfn), 8).unwrap();
+    m.read(Vmpl::Vmpl3, Machine::gpa(gfn), 8).unwrap(); // cached verdict
+
+    m.pvalidate(Vmpl::Vmpl0, gfn, false).unwrap();
+    m.rmp_reclaim(gfn).unwrap(); // private -> shared (scrubbed)
+    m.rmp_assign(gfn).unwrap(); // shared -> assigned, NOT validated
+
+    // Unvalidated memory faults #NPF for every VMPL, cached or not.
+    assert!(m.read(Vmpl::Vmpl3, Machine::gpa(gfn), 8).is_err());
+    assert!(m.read(Vmpl::Vmpl0, Machine::gpa(gfn), 8).is_err());
+}
+
+#[test]
+fn stale_verdict_after_vmsa_create_faults() {
+    let (mut m, _aspace, mut free, _pfn) = setup();
+    let gfn = free.pop().unwrap();
+    m.read(Vmpl::Vmpl0, Machine::gpa(gfn), 8).unwrap();
+    m.read(Vmpl::Vmpl0, Machine::gpa(gfn), 8).unwrap(); // cached verdict
+
+    m.vmsa_create(Vmpl::Vmpl0, gfn, 0, Vmpl::Vmpl1, Cpl::Cpl0).unwrap();
+
+    // VMSA pages are immutable to software at every VMPL.
+    assert!(m.read(Vmpl::Vmpl0, Machine::gpa(gfn), 8).is_err());
+
+    m.vmsa_destroy(Vmpl::Vmpl0, gfn).unwrap();
+    m.read(Vmpl::Vmpl0, Machine::gpa(gfn), 8).unwrap();
+}
+
+#[test]
+fn direct_pt_edit_is_snooped() {
+    // The OS editing page tables *directly* (no map/unmap/protect, no
+    // INVLPG) is exactly the case hardware handles with a broadcast
+    // shootdown. The model's write snoop must catch it: a raw checked
+    // write to a frame the walker has used as a page table flushes the
+    // translation cache.
+    let (mut m, aspace, _free, _pfn) = setup();
+    aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).unwrap(); // warm
+
+    // Find the leaf table frame and zero the whole thing through the
+    // plain write path (a hostile or buggy kernel scribbling on tables).
+    let tables = aspace.table_frames(&m);
+    let leaf = *tables.last().unwrap();
+    m.write(Vmpl::Vmpl0, Machine::gpa(leaf), &[0u8; 4096]).unwrap();
+
+    // The cached translation for VADDR must be gone with the PTE.
+    assert!(matches!(aspace.translate(&m, VADDR), Err(PtError::NotMapped { .. })));
+    assert!(aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).is_err());
+}
+
+#[test]
+fn psc_to_shared_under_hostile_policy_kills_cached_state() {
+    // Drive the revocation through the hypervisor's GHCB page-state
+    // machinery with every hostile policy knob engaged. No knob may
+    // bypass the PSC cache flush: a verdict cached while the page was
+    // validated private memory must not be honored once the page has
+    // left and re-entered the private domain.
+    let machine = Machine::new(MachineConfig { frames: 256, ..MachineConfig::default() });
+    let mut hv = Hypervisor::new(machine);
+    hv.machine.set_cache_enabled(true);
+    hv.policy = HvPolicy {
+        relay_interrupts_to_unt: false,
+        tamper_vmsa_on_switch: true,
+        enforce_enclave_ghcb_scope: false,
+        refuse_switches: true,
+        misroute_switch_to: Some(Vmpl::Vmpl2),
+    };
+    hv.launch(&[(1u64, b"veilmon code".to_vec())], 3).unwrap();
+
+    let gfn = 30u64;
+    hv.machine.set_ghcb_msr(0, 20); // frame 20 is still shared
+    let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
+
+    // Guest takes the page private, validates, and warms the caches.
+    ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PageStateChange, gfn, 1).unwrap();
+    assert_eq!(hv.vmgexit(0, false).unwrap(), HvResponse::PageStateChanged);
+    hv.machine.pvalidate(Vmpl::Vmpl0, gfn, true).unwrap();
+    hv.machine.write(Vmpl::Vmpl0, Machine::gpa(gfn), b"secret").unwrap();
+    hv.machine.read(Vmpl::Vmpl0, Machine::gpa(gfn), 8).unwrap();
+    let warm = hv.machine.cache_stats();
+    hv.machine.read(Vmpl::Vmpl0, Machine::gpa(gfn), 8).unwrap();
+    assert!(hv.machine.cache_stats().verdict_hits > warm.verdict_hits);
+
+    // Page-state change back to shared (hypervisor-observed), then the
+    // host hands the same gfn back as private-but-unvalidated.
+    hv.machine.pvalidate(Vmpl::Vmpl0, gfn, false).unwrap();
+    ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PageStateChange, gfn, 0).unwrap();
+    assert_eq!(hv.vmgexit(0, false).unwrap(), HvResponse::PageStateChanged);
+    ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PageStateChange, gfn, 1).unwrap();
+    assert_eq!(hv.vmgexit(0, false).unwrap(), HvResponse::PageStateChanged);
+
+    // #NPF must fire: the pre-PSC verdict is dead, the page is not
+    // validated, and the scrub removed the old contents.
+    assert!(hv.machine.read(Vmpl::Vmpl0, Machine::gpa(gfn), 8).is_err());
+    hv.machine.pvalidate(Vmpl::Vmpl0, gfn, true).unwrap();
+    assert_eq!(hv.machine.read(Vmpl::Vmpl0, Machine::gpa(gfn), 6).unwrap(), vec![0u8; 6]);
+}
