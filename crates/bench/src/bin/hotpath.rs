@@ -10,7 +10,10 @@
 //! once with the caches on — plus the TLB/verdict hit rates of the
 //! cached run. It asserts the two runs agree on model cycles and
 //! workload checksums (a cheap standing twin-execution check), then
-//! writes `BENCH_HOTPATH.json`.
+//! writes `BENCH_HOTPATH.json`. A third, untimed pass per workload runs
+//! with the metrics registry on and contributes relay-latency
+//! p50/p99/p99.9 cycle columns — asserting along the way that metrics
+//! collection leaves model cycles untouched.
 //!
 //! Usage: `cargo run --release -p veil-bench --bin hotpath [--scale N]
 //! [--reps N] [--out PATH] [--baseline name=ms,...]` (default
@@ -88,10 +91,41 @@ fn run_mode(make: &dyn Fn() -> Box<dyn Workload>, cache_enabled: bool) -> ModeRe
     }
 }
 
+/// Result of the untimed metrics-on pass: relay-latency distribution
+/// plus the model cycles it observed (for the inertness cross-check).
+struct MetricsResult {
+    model_cycles: u64,
+    relay: veil_snp::metrics::Histogram,
+}
+
+/// Runs the workload once with the metrics registry enabled — untimed,
+/// so the histogram percentiles never perturb the wall-clock numbers of
+/// the two timed modes.
+fn run_metrics(make: &dyn Fn() -> Box<dyn Workload>) -> MetricsResult {
+    let mut cvm = veil_cvm();
+    cvm.hv.machine.set_metrics_enabled(true);
+    let pid = cvm.spawn();
+    let binary = EnclaveBinary::build("hotpath", 16 * 1024, 8 * 1024).with_heap_pages(32);
+    let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
+    let mut rt = EnclaveRuntime::new(handle);
+    let mut workload = make();
+
+    let cycles_before = cvm.hv.machine.cycles().total();
+    {
+        let mut d = EnclaveDriver { cvm: &mut cvm, rt: &mut rt };
+        workload.run(&mut d).expect("workload run");
+    }
+    MetricsResult {
+        model_cycles: cvm.hv.machine.cycles().total() - cycles_before,
+        relay: cvm.hv.machine.metrics().merged_histogram("relay_cycles"),
+    }
+}
+
 struct Row {
     name: &'static str,
     off: ModeResult,
     on: ModeResult,
+    relay: veil_snp::metrics::Histogram,
 }
 
 impl Row {
@@ -124,7 +158,13 @@ fn measure(name: &'static str, make: &dyn Fn() -> Box<dyn Workload>, reps: usize
             on = Some(c);
         }
     }
-    Row { name, off: off.unwrap(), on: on.unwrap() }
+    let off = off.unwrap();
+    let on = on.unwrap();
+    // One extra metrics-on pass for the latency distribution. Metrics
+    // are observationally inert: same model cycles as the timed runs.
+    let metrics = run_metrics(make);
+    assert_eq!(metrics.model_cycles, on.model_cycles, "{name}: metrics perturbed cycles");
+    Row { name, off, on, relay: metrics.relay }
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -174,14 +214,23 @@ fn main() {
     ];
 
     println!(
-        "{:<10} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
-        "workload", "off ms", "on ms", "speedup", "ops/s off", "ops/s on", "tlb hit"
+        "{:<10} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8} {:>9} {:>9} {:>9}",
+        "workload",
+        "off ms",
+        "on ms",
+        "speedup",
+        "ops/s off",
+        "ops/s on",
+        "tlb hit",
+        "relay p50",
+        "relay p99",
+        "p99.9"
     );
     let mut rows = Vec::new();
     for (name, make) in &workloads {
         let row = measure(name, make.as_ref(), reps);
         println!(
-            "{:<10} {:>10.1} {:>10.1} {:>7.2}x {:>10.0} {:>10.0} {:>7.1}%",
+            "{:<10} {:>10.1} {:>10.1} {:>7.2}x {:>10.0} {:>10.0} {:>7.1}% {:>9} {:>9} {:>9}",
             row.name,
             row.off.wall_ms,
             row.on.wall_ms,
@@ -189,6 +238,9 @@ fn main() {
             Row::ops_per_sec(&row.off),
             Row::ops_per_sec(&row.on),
             row.on.tlb_hit_rate().unwrap_or(0.0) * 100.0,
+            row.relay.percentile(50.0),
+            row.relay.percentile(99.0),
+            row.relay.percentile(99.9),
         );
         rows.push(row);
     }
@@ -210,6 +262,10 @@ fn main() {
                 json_field("tlb_misses", r.on.tlb_misses),
                 json_field("verdict_hits", r.on.verdict_hits),
                 json_field("verdict_misses", r.on.verdict_misses),
+                json_field("relay_count", r.relay.count()),
+                json_field("relay_p50_cycles", r.relay.percentile(50.0)),
+                json_field("relay_p99_cycles", r.relay.percentile(99.0)),
+                json_field("relay_p999_cycles", r.relay.percentile(99.9)),
             ];
             if let Some((_, base_ms)) = baseline.iter().find(|(n, _)| n == r.name) {
                 fields.push(json_field("wall_ms_baseline", json_f64(*base_ms)));

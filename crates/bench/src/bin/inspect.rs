@@ -7,6 +7,15 @@
 //! event tracing on, runs a small representative workload (secure-channel
 //! handshake + enclave syscalls), and dumps the event stream, the counter
 //! fold, per-domain cycle attribution, and the trace digest.
+//!
+//! `inspect metrics [--json | --prom]` boots with the metrics registry on,
+//! drives the same workload, and dumps counters, gauges, and cycle
+//! histograms with p50/p99/p99.9 — as a table, as the deterministic JSON
+//! snapshot (with SHA-256 digest), or in Prometheus text exposition.
+//!
+//! `inspect flame` does the same but emits the span profiler's folded
+//! stacks (`vmplN;parent;child self_cycles` per line), ready for
+//! `flamegraph.pl` or any folded-stack consumer.
 
 use veil_crypto::DhKeyPair;
 use veil_os::sys::{OpenFlags, Sys};
@@ -24,22 +33,33 @@ fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// `inspect trace`: boot traced, drive a workload, dump the evidence.
-fn trace_mode(args: &[String]) {
-    let frames = arg_u64(args, "--frames", 4096);
-    let vcpus = arg_u64(args, "--vcpus", 2) as u32;
-    let last = arg_u64(args, "--last", 40) as usize;
-    let json = args.iter().any(|a| a == "--json");
+/// Boots a CVM with the requested observability switches and drives the
+/// representative workload shared by `trace`, `metrics`, and `flame`:
+/// a secure-channel handshake (§5.1) followed by a few
+/// enclave-redirected syscalls (§6.2) — exercising domain switches,
+/// VMGEXIT/VMENTER pairs, and the audit pipeline. `None` leaves a
+/// switch under environment control (`VEIL_TRACE`/`VEIL_METRICS`), so
+/// CI can run `inspect trace` with metrics on and prove the digest
+/// does not move.
+fn observed_cvm(
+    frames: u64,
+    vcpus: u32,
+    trace: Option<bool>,
+    metrics: Option<bool>,
+) -> veil_services::Cvm {
+    let mut builder = CvmBuilder::new().frames(frames).vcpus(vcpus);
+    if let Some(trace) = trace {
+        builder = builder.trace(trace);
+    }
+    if let Some(metrics) = metrics {
+        builder = builder.metrics(metrics);
+    }
+    let mut cvm = builder.build().expect("boot");
 
-    let mut cvm = CvmBuilder::new().frames(frames).vcpus(vcpus).trace(true).build().expect("boot");
-
-    // Secure-channel handshake (§5.1).
     let user = DhKeyPair::from_seed(&[7; 32]);
     let (_report, _mon_pub) = cvm.gate.monitor.begin_channel(&mut cvm.hv).expect("attest");
     cvm.gate.monitor.complete_channel(&mut cvm.hv, &user.public).expect("channel");
 
-    // A few enclave-redirected syscalls (§6.2): exercises domain
-    // switches, VMGEXIT/VMENTER pairs, and the audit pipeline.
     let pid = cvm.spawn();
     let handle =
         install_enclave(&mut cvm, pid, &EnclaveBinary::build("inspect", 2048, 0)).expect("enclave");
@@ -53,7 +73,17 @@ fn trace_mode(args: &[String]) {
         sys.close(fd).expect("close");
     }
     veil_sdk::runtime::park_enclave(&mut cvm, &mut rt).expect("park");
+    cvm
+}
 
+/// `inspect trace`: boot traced, drive a workload, dump the evidence.
+fn trace_mode(args: &[String]) {
+    let frames = arg_u64(args, "--frames", 4096);
+    let vcpus = arg_u64(args, "--vcpus", 2) as u32;
+    let last = arg_u64(args, "--last", 40) as usize;
+    let json = args.iter().any(|a| a == "--json");
+
+    let cvm = observed_cvm(frames, vcpus, Some(true), None);
     let records = cvm.trace_records();
     let counters = cvm.hv.machine.tracer().counters();
     let cache = cvm.hv.machine.cache_stats();
@@ -110,11 +140,101 @@ fn trace_mode(args: &[String]) {
     println!("{}", cvm.trace_digest_hex());
 }
 
+/// `inspect metrics`: boot with the registry on, drive the workload,
+/// dump counters/gauges/histograms (or the JSON/Prometheus export).
+fn metrics_mode(args: &[String]) {
+    let frames = arg_u64(args, "--frames", 4096);
+    let vcpus = arg_u64(args, "--vcpus", 2) as u32;
+    let json = args.iter().any(|a| a == "--json");
+    let prom = args.iter().any(|a| a == "--prom");
+
+    let cvm = observed_cvm(frames, vcpus, None, Some(true));
+    if json {
+        println!("{}", cvm.metrics_snapshot());
+        return;
+    }
+    if prom {
+        print!("{}", veil_snp::metrics::export::prometheus(cvm.metrics(), cvm.spans()));
+        return;
+    }
+
+    let registry = cvm.metrics();
+    let label = |k: &veil_snp::metrics::Key| {
+        if k.op.is_empty() {
+            format!("{}{{{}}}", k.metric, veil_snp::metrics::domain_label(k.domain))
+        } else {
+            format!("{}{{{},{}}}", k.metric, veil_snp::metrics::domain_label(k.domain), k.op)
+        }
+    };
+
+    fmt::header("counters");
+    for (key, value) in registry.counters() {
+        println!("{:<46} {value}", label(key));
+    }
+
+    fmt::header("gauges");
+    for (key, value) in registry.gauges() {
+        println!("{:<46} {value}", label(key));
+    }
+
+    fmt::header("cycle histograms");
+    println!(
+        "{:<46} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "series", "count", "p50", "p99", "p99.9", "max"
+    );
+    for (key, hist) in registry.histograms() {
+        println!(
+            "{:<46} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            label(key),
+            hist.count(),
+            hist.percentile(50.0),
+            hist.percentile(99.0),
+            hist.percentile(99.9),
+            hist.max(),
+        );
+    }
+
+    fmt::header("spans (self/total cycles)");
+    println!("{:<52} {:>7} {:>12} {:>12}", "path", "count", "self", "total");
+    for (path, domain, stat) in cvm.spans().stats() {
+        println!(
+            "{:<52} {:>7} {:>12} {:>12}",
+            format!("{};{path}", veil_snp::metrics::domain_label(domain)),
+            stat.count,
+            stat.self_cycles,
+            stat.total_cycles,
+        );
+    }
+
+    fmt::header("snapshot digest");
+    println!("{}", cvm.metrics_digest_hex());
+}
+
+/// `inspect flame`: folded stacks on stdout, one line per
+/// `(domain;path, self_cycles)` pair — feed straight into flamegraph.pl.
+fn flame_mode(args: &[String]) {
+    let frames = arg_u64(args, "--frames", 4096);
+    let vcpus = arg_u64(args, "--vcpus", 2) as u32;
+    let cvm = observed_cvm(frames, vcpus, None, Some(true));
+    print!("{}", cvm.spans().folded());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("trace") {
-        trace_mode(&args);
-        return;
+    match args.get(1).map(String::as_str) {
+        Some("trace") => {
+            trace_mode(&args);
+            return;
+        }
+        Some("metrics") => {
+            metrics_mode(&args);
+            return;
+        }
+        Some("flame") => {
+            flame_mode(&args);
+            return;
+        }
+        _ => {}
     }
     let get = |flag: &str, default: u64| -> u64 { arg_u64(&args, flag, default) };
     let frames = get("--frames", 4096);

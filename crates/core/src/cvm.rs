@@ -34,6 +34,7 @@ pub struct CvmBuilder {
     shared_frames: u64,
     kci: bool,
     trace: Option<bool>,
+    metrics: Option<bool>,
 }
 
 impl Default for CvmBuilder {
@@ -55,6 +56,7 @@ impl CvmBuilder {
             shared_frames: d.shared_frames,
             kci: true,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -95,6 +97,20 @@ impl CvmBuilder {
         self.trace.unwrap_or_else(|| std::env::var_os("VEIL_TRACE").is_some_and(|v| v != *"0"))
     }
 
+    /// Enables/disables metrics collection (registry + span profiler; see
+    /// `veil-metrics`). When not set explicitly the `VEIL_METRICS`
+    /// environment variable decides (any value other than `0` enables).
+    /// Metrics never charge cycles or emit events, so trace digests are
+    /// identical either way.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = Some(enabled);
+        self
+    }
+
+    fn metrics_enabled(&self) -> bool {
+        self.metrics.unwrap_or_else(veil_snp::metrics::env_enabled)
+    }
+
     fn layout_config(&self) -> LayoutConfig {
         LayoutConfig {
             frames: self.frames,
@@ -118,6 +134,7 @@ impl CvmBuilder {
             Machine::new(MachineConfig { frames: self.frames as usize, ..Default::default() });
         let mut hv = Hypervisor::new(machine);
         hv.set_trace(self.trace_enabled());
+        hv.set_metrics(self.metrics_enabled());
         let image = veil_boot_image(&layout);
         hv.launch(&image, layout.boot_vmsa)?;
 
@@ -171,6 +188,7 @@ impl CvmBuilder {
             Machine::new(MachineConfig { frames: self.frames as usize, ..Default::default() });
         let mut hv = Hypervisor::new(machine);
         hv.set_trace(self.trace_enabled());
+        hv.set_metrics(self.metrics_enabled());
         // The native boot image is just the kernel.
         let image: Vec<(u64, Vec<u8>)> =
             layout.kernel_text.clone().map(|gfn| (gfn, image_page(gfn, "linux-guest"))).collect();
@@ -287,6 +305,29 @@ impl<S: ServiceDispatch> GenericCvm<S> {
     /// Cycles charged while each domain (VMPL 0..=3) was executing.
     pub fn domain_cycles(&self) -> [u64; 4] {
         self.hv.machine.domain_cycles()
+    }
+
+    /// The machine's metrics registry (counters, gauges, histograms).
+    pub fn metrics(&self) -> &veil_snp::metrics::MetricsRegistry {
+        self.hv.machine.metrics()
+    }
+
+    /// The machine's span profiler (hierarchical cycle attribution).
+    pub fn spans(&self) -> &veil_snp::metrics::SpanProfiler {
+        self.hv.machine.spans()
+    }
+
+    /// The deterministic JSON metrics snapshot (see
+    /// `veil_metrics::export::json_snapshot`). Bit-identical across runs
+    /// at the same build/configuration/`VEIL_TEST_SEED`.
+    pub fn metrics_snapshot(&self) -> String {
+        veil_snp::metrics::export::json_snapshot(self.metrics(), self.spans())
+    }
+
+    /// SHA-256 of [`GenericCvm::metrics_snapshot`] as lowercase hex —
+    /// the value golden snapshot tests pin.
+    pub fn metrics_digest_hex(&self) -> String {
+        veil_snp::metrics::export::snapshot_digest_hex(&self.metrics_snapshot())
     }
 }
 

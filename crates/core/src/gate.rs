@@ -57,6 +57,19 @@ impl<S: ServiceDispatch> VeilGate<S> {
         from: Vmpl,
         target: Vmpl,
     ) -> Result<(), OsError> {
+        hv.machine.span_enter("gate.switch");
+        let res = self.switch_inner(hv, vcpu, from, target);
+        hv.machine.span_exit("gate.switch");
+        res
+    }
+
+    fn switch_inner(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        from: Vmpl,
+        target: Vmpl,
+    ) -> Result<(), OsError> {
         let ghcb_gfn = hv
             .machine
             .ghcb_msr(vcpu)
@@ -80,6 +93,18 @@ impl<S: ServiceDispatch> VeilGate<S> {
 
     /// Trusted-side dispatch, after the switch landed.
     fn dispatch(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        req: &MonRequest,
+    ) -> Result<MonResponse, OsError> {
+        hv.machine.span_enter("gate.dispatch");
+        let res = self.dispatch_inner(hv, vcpu, req);
+        hv.machine.span_exit("gate.dispatch");
+        res
+    }
+
+    fn dispatch_inner(
         &mut self,
         hv: &mut Hypervisor,
         vcpu: u32,
@@ -116,6 +141,24 @@ impl<S: ServiceDispatch> VeilGate<S> {
 
 impl<S: ServiceDispatch> MonitorChannel for VeilGate<S> {
     fn request(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        req: MonRequest,
+    ) -> Result<MonResponse, OsError> {
+        hv.machine.span_enter("gate.request");
+        let res = self.request_inner(hv, vcpu, req);
+        hv.machine.span_exit("gate.request");
+        res
+    }
+
+    fn kernel_vmpl(&self) -> Vmpl {
+        Vmpl::Vmpl3
+    }
+}
+
+impl<S: ServiceDispatch> VeilGate<S> {
+    fn request_inner(
         &mut self,
         hv: &mut Hypervisor,
         vcpu: u32,
@@ -165,10 +208,6 @@ impl<S: ServiceDispatch> MonitorChannel for VeilGate<S> {
         idcb.write_message(&mut hv.machine, target, seq, ack)?;
         self.switch(hv, vcpu, target, Vmpl::Vmpl3)?;
         result
-    }
-
-    fn kernel_vmpl(&self) -> Vmpl {
-        Vmpl::Vmpl3
     }
 }
 

@@ -196,6 +196,13 @@ impl Hypervisor {
         self.machine.tracer_mut().clear();
     }
 
+    /// Enables/disables metrics collection (registry + span profiler) on
+    /// the underlying machine. Enabling resets the recorded series, so
+    /// measurements see only activity from this point on.
+    pub fn set_metrics(&mut self, enabled: bool) {
+        self.machine.set_metrics_enabled(enabled);
+    }
+
     /// The executing VMPL of `vcpu_id` as a raw trace level.
     fn trace_vmpl(&self, vcpu_id: u32) -> u8 {
         self.vcpu(vcpu_id).map(|v| v.current_vmpl.index() as u8).unwrap_or(VMPL_UNKNOWN)
@@ -289,6 +296,17 @@ impl Hypervisor {
     /// Returns [`SnpError::Halted`] when the protocol wedges in a way the
     /// paper identifies as a CVM crash (missing or unshared GHCB).
     pub fn vmgexit(&mut self, vcpu_id: u32, from_user_ghcb: bool) -> Result<HvResponse, SnpError> {
+        self.machine.span_enter("hv.vmgexit");
+        let res = self.vmgexit_inner(vcpu_id, from_user_ghcb);
+        self.machine.span_exit("hv.vmgexit");
+        res
+    }
+
+    fn vmgexit_inner(
+        &mut self,
+        vcpu_id: u32,
+        from_user_ghcb: bool,
+    ) -> Result<HvResponse, SnpError> {
         self.machine.ensure_running()?;
         let exiting = self.trace_vmpl(vcpu_id);
         let exit_event = |code: u64| Event::VmgExit {
@@ -403,6 +421,18 @@ impl Hypervisor {
         target: Vmpl,
         from_user_ghcb: bool,
     ) -> HvResponse {
+        self.machine.span_enter("hv.relay_switch");
+        let resp = self.relay_domain_switch_inner(vcpu_id, target, from_user_ghcb);
+        self.machine.span_exit("hv.relay_switch");
+        resp
+    }
+
+    fn relay_domain_switch_inner(
+        &mut self,
+        vcpu_id: u32,
+        target: Vmpl,
+        from_user_ghcb: bool,
+    ) -> HvResponse {
         let current = match self.vcpu(vcpu_id) {
             Some(v) => v.current_vmpl,
             None => return HvResponse::Refused { reason: "unknown vcpu" },
@@ -466,6 +496,13 @@ impl Hypervisor {
     /// field the interrupt (§6.2). Returns the domain that ends up
     /// running; `None` means the CVM halted.
     pub fn automatic_exit(&mut self, vcpu_id: u32) -> Option<Vmpl> {
+        self.machine.span_enter("hv.automatic_exit");
+        let res = self.automatic_exit_inner(vcpu_id);
+        self.machine.span_exit("hv.automatic_exit");
+        res
+    }
+
+    fn automatic_exit_inner(&mut self, vcpu_id: u32) -> Option<Vmpl> {
         let exiting = self.trace_vmpl(vcpu_id);
         self.machine.trace_event(Event::VmgExit {
             vcpu: vcpu_id,

@@ -136,6 +136,11 @@ pub enum MonRequest {
         /// Enclave handle.
         enclave_id: u64,
     },
+    /// `veilstat`: fetch the protected-side metrics snapshot (the JSON
+    /// document of `veil_metrics::export::json_snapshot`) through the
+    /// service-call path — the framework observing itself over its own
+    /// protected channel.
+    StatSnapshot,
 }
 
 /// Monitor response carried back through the IDCB.
@@ -166,6 +171,7 @@ impl MonRequest {
             MonRequest::EncPermSync { .. } => 10,
             MonRequest::EncAddThread { .. } => 11,
             MonRequest::EncDestroy { .. } => 12,
+            MonRequest::StatSnapshot => 13,
         }
     }
 
@@ -187,6 +193,7 @@ impl MonRequest {
             MonRequest::EncPermSync { .. } => 32,
             MonRequest::EncAddThread { .. } => 32,
             MonRequest::EncDestroy { .. } => 16,
+            MonRequest::StatSnapshot => 16,
         }
     }
 }

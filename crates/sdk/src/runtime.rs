@@ -156,12 +156,16 @@ impl<'a> EnclaveSys<'a> {
         // enclave-running process" (§6.2).
         let vcpu = self.rt.vcpu;
         self.cvm.hv.machine.set_ghcb_msr(vcpu, self.rt.ghcb_gfn);
-        self.cvm
+        self.cvm.hv.machine.span_enter("sdk.enclave_enter");
+        let entered = self
+            .cvm
             .gate
             .services
             .enc
             .enter_on(&mut self.cvm.hv, self.rt.handle.id, vcpu)
-            .map_err(|_| Errno::EACCES)?;
+            .map_err(|_| Errno::EACCES);
+        self.cvm.hv.machine.span_exit("sdk.enclave_enter");
+        entered?;
         self.rt.inside = true;
         self.rt.stats.crossings += 1;
         Ok(())
@@ -169,12 +173,16 @@ impl<'a> EnclaveSys<'a> {
 
     fn exit(&mut self) -> Result<(), Errno> {
         let vcpu = self.rt.vcpu;
-        self.cvm
+        self.cvm.hv.machine.span_enter("sdk.enclave_exit");
+        let exited = self
+            .cvm
             .gate
             .services
             .enc
             .exit_on(&mut self.cvm.hv, self.rt.handle.id, vcpu)
-            .map_err(|_| Errno::EACCES)?;
+            .map_err(|_| Errno::EACCES);
+        self.cvm.hv.machine.span_exit("sdk.enclave_exit");
+        exited?;
         // Back in Dom_UNT: restore the kernel GHCB for OS work.
         let kernel_ghcb =
             self.cvm.kernel.ghcb_gfn(vcpu).or_else(|| self.cvm.kernel.ghcb_gfn(0)).expect("ghcb");

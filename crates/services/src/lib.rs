@@ -32,6 +32,7 @@
 pub mod enc;
 pub mod kci;
 pub mod log;
+pub mod stat;
 
 use veil_core::cvm::GenericCvm;
 use veil_core::monitor::Monitor;
@@ -43,8 +44,9 @@ use veil_os::monitor::{MonRequest, MonResponse};
 pub use enc::{Enclave, EnclaveMeasurement, VeilSEnc};
 pub use kci::VeilSKci;
 pub use log::VeilSLog;
+pub use stat::VeilStat;
 
-/// The standard protected-service bundle (KCI + ENC + LOG).
+/// The standard protected-service bundle (KCI + ENC + LOG + STAT).
 #[derive(Debug, Default)]
 pub struct VeilServices {
     /// Kernel code integrity.
@@ -53,6 +55,8 @@ pub struct VeilServices {
     pub enc: VeilSEnc,
     /// Audit-log protection.
     pub log: VeilSLog,
+    /// Metrics snapshots over the protected channel.
+    pub stat: VeilStat,
 }
 
 impl VeilServices {
@@ -131,6 +135,7 @@ impl ServiceDispatch for VeilServices {
                 self.enc.destroy(monitor, hv, *enclave_id)?;
                 Ok(MonResponse::Ok)
             }
+            MonRequest::StatSnapshot => Ok(MonResponse::Bytes(self.stat.snapshot(hv))),
             MonRequest::Pvalidate { .. } | MonRequest::CreateVcpu { .. } => Err(
                 OsError::MonitorRefused("architectural delegation terminates in VeilMon".into()),
             ),
@@ -181,6 +186,13 @@ impl CvmBuilder {
     /// [`veil_core::cvm::CvmBuilder::trace`]).
     pub fn trace(mut self, enabled: bool) -> Self {
         self.inner = self.inner.trace(enabled);
+        self
+    }
+
+    /// Toggle metrics collection (see
+    /// [`veil_core::cvm::CvmBuilder::metrics`]).
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.inner = self.inner.metrics(enabled);
         self
     }
 

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use veil_metrics as metrics;
 pub use veil_trace as trace;
 
 pub mod attest;

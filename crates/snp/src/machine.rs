@@ -16,6 +16,7 @@ use crate::rmp::{PageState, Rmp};
 use crate::tlb::MachineCaches;
 use crate::vmsa::Vmsa;
 use std::collections::BTreeMap;
+use veil_metrics::{MetricsRegistry, SpanProfiler};
 use veil_trace::{CacheCounters, Event, Tracer};
 
 /// Configuration for a new [`Machine`].
@@ -66,6 +67,12 @@ pub struct Machine {
     /// Software TLB + RMP-verdict cache (see `tlb.rs`). Charges no cycles
     /// and emits no events, so it never perturbs determinism.
     caches: MachineCaches,
+    /// Metrics registry fed from the same event stream as the tracer (in
+    /// [`Machine::trace_event`]). Like the caches, it charges no cycles
+    /// and emits no events: trace digests are bit-identical on/off.
+    metrics: MetricsRegistry,
+    /// Hierarchical span profiler clocked by the virtual cycle account.
+    spans: SpanProfiler,
 }
 
 impl Machine {
@@ -73,6 +80,11 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         let device_key = veil_crypto::HmacSha256::mac(&config.device_key_seed, b"veil-device-key");
         let cache_enabled = std::env::var_os("VEIL_NO_TLB").is_none();
+        let metrics_enabled = veil_metrics::env_enabled();
+        let mut metrics = MetricsRegistry::new();
+        metrics.set_enabled(metrics_enabled);
+        let mut spans = SpanProfiler::new();
+        spans.set_enabled(metrics_enabled);
         Machine {
             mem: GuestMemory::new(config.frames),
             rmp: Rmp::new(config.frames),
@@ -87,6 +99,8 @@ impl Machine {
             current_domain: Vmpl::Vmpl0,
             domain_cycles: [0; 4],
             caches: MachineCaches::new(config.frames, cache_enabled),
+            metrics,
+            spans,
         }
     }
 
@@ -138,10 +152,60 @@ impl Machine {
         &mut self.tracer
     }
 
-    /// Records `event`, stamped with the current virtual-cycle total.
+    /// Records `event`, stamped with the current virtual-cycle total. The
+    /// metrics registry folds the same `(cycles, event)` pair, so its
+    /// derived counters and the tracer's can never drift — they are one
+    /// stream.
     pub fn trace_event(&mut self, event: Event) {
         let now = self.cycles.total();
         self.tracer.record(now, event);
+        self.metrics.observe_event(now, &event);
+    }
+
+    // ---- metrics --------------------------------------------------------
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable metrics registry access (custom counters/histograms).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The span profiler.
+    pub fn spans(&self) -> &SpanProfiler {
+        &self.spans
+    }
+
+    /// Whether metrics collection (registry + span profiler) is active.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+
+    /// Enables or disables metrics collection. Enabling **resets** both
+    /// the registry and the profiler (the `Tracer::set_enabled` contract),
+    /// so runs that opt in programmatically observe a deterministic window
+    /// regardless of the `VEIL_METRICS` environment knob.
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        self.metrics.set_enabled(enabled);
+        self.spans.set_enabled(enabled);
+    }
+
+    /// Opens a profiler span named `name` at the current virtual-cycle
+    /// time, attributed to the executing domain. A single-branch no-op
+    /// when metrics are disabled; never charges cycles or emits events.
+    pub fn span_enter(&mut self, name: &'static str) {
+        let now = self.cycles.total();
+        self.spans.enter(name, self.current_domain.index() as u8, now);
+    }
+
+    /// Closes the innermost profiler span if it is named `name` (leaked
+    /// spans from error paths are ignored rather than misattributed).
+    pub fn span_exit(&mut self, name: &'static str) {
+        let now = self.cycles.total();
+        self.spans.exit(name, now);
     }
 
     /// The privilege domain currently executing.
@@ -449,9 +513,11 @@ impl Machine {
         if gfn >= self.rmp.frames() {
             return Err(SnpError::OutOfRange { gfn });
         }
+        self.span_enter("pvalidate");
         let cycles = self.cost.pvalidate;
         self.charge(CostCategory::Pvalidate, cycles);
         if !self.rmp.set_validated(gfn, validated) {
+            self.span_exit("pvalidate");
             return Err(SnpError::ValidationMismatch { gfn });
         }
         self.caches.verdict_invalidate(gfn);
@@ -460,6 +526,7 @@ impl Machine {
             gfn,
             validate: validated,
         });
+        self.span_exit("pvalidate");
         Ok(())
     }
 
@@ -499,6 +566,7 @@ impl Machine {
         if !held.contains(perms) {
             return Err(SnpError::PermEscalation);
         }
+        self.span_enter("rmpadjust");
         let cycles = self.cost.rmpadjust_page();
         self.charge(CostCategory::Rmpadjust, cycles);
         self.rmp.set_perms(gfn, target, perms);
@@ -510,6 +578,7 @@ impl Machine {
             perms: perms.bits(),
             executing_perms: held.bits(),
         });
+        self.span_exit("rmpadjust");
         Ok(())
     }
 

@@ -134,10 +134,11 @@ impl BenchGroup {
     }
 }
 
-/// Nearest-rank percentile over sorted samples.
+/// Nearest-rank percentile over sorted samples. The rank convention is
+/// shared with `veil-metrics` so exact-sample benches and log-bucketed
+/// histograms agree on what "p99" means.
 fn percentile(sorted: &[u64], p: f64) -> u64 {
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    sorted[veil_metrics::nearest_rank(sorted.len(), p) - 1]
 }
 
 /// Renders a slice of results as one JSON document.

@@ -17,6 +17,7 @@
 pub use veil_core as core;
 pub use veil_crypto as crypto;
 pub use veil_hv as hv;
+pub use veil_metrics as metrics;
 pub use veil_os as os;
 pub use veil_sdk as sdk;
 pub use veil_services as services;

@@ -26,7 +26,10 @@ use veil_workloads::Workload;
 /// kernel syscalls, a secure-channel handshake, and enclave-redirected
 /// syscalls.
 fn traced_workload_cvm() -> Cvm {
-    let mut cvm = CvmBuilder::new().frames(4096).vcpus(1).trace(true).build().unwrap();
+    // Metrics ride along so every invariant below also runs with the
+    // registry live — and so the three-way drift test has data.
+    let mut cvm =
+        CvmBuilder::new().frames(4096).vcpus(1).trace(true).metrics(true).build().unwrap();
     cvm.kernel.audit.mode = AuditMode::VeilLog;
     cvm.kernel.audit.rules = paper_ruleset();
 
@@ -131,6 +134,29 @@ fn folded_counters_equal_live_counters_and_hv_stats() {
     assert_eq!(stats.automatic_exits, fold.automatic_exits);
     assert_eq!(stats.page_state_changes, fold.page_state_changes);
     assert_eq!(stats.io_exits, fold.io_exits);
+}
+
+#[test]
+fn metrics_event_fold_never_drifts() {
+    // Satellite: the registry consumes the *same* `(cycles, event)`
+    // stream as the tracer (one call site in `Machine::trace_event`), so
+    // its embedded fold, the live tracer fold, and a replay fold over
+    // the ring must agree exactly — a regression guard against anyone
+    // feeding the registry from a second, divergent stream.
+    let cvm = traced_workload_cvm();
+    let records = cvm.trace_records();
+    assert_eq!(cvm.hv.machine.tracer().dropped(), 0);
+    let replay = EventCounters::from_records(&records);
+    let live = cvm.hv.machine.tracer().counters();
+    let registry = cvm.metrics().event_counters();
+    assert_eq!(replay, *live, "replay fold must equal live tracer fold");
+    assert_eq!(registry, live, "registry fold drifted from the tracer fold");
+
+    // The registry's per-event counters must also sum to the stream:
+    // every record lands in exactly one `events_total` series.
+    let events_total: u64 =
+        cvm.metrics().counters().filter(|(k, _)| k.metric == "events_total").map(|(_, v)| v).sum();
+    assert_eq!(events_total, records.len() as u64, "events_total must count every record once");
 }
 
 #[test]
