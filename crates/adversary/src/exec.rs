@@ -1,0 +1,467 @@
+//! The differential executor: applies one [`AdversaryOp`] to the real
+//! machine *and* the reference oracle, demanding verdict equality and
+//! re-checking the standing security invariants after every step.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+use veil_hv::Hypervisor;
+use veil_snp::fault::SnpError;
+use veil_snp::ghcb::{Ghcb, GhcbExit};
+use veil_snp::machine::{Machine, MachineConfig};
+use veil_snp::perms::{Access, Cpl, Vmpl, VmplPerms};
+use veil_snp::pt::{AddressSpace, PteFlags};
+use veil_snp::rmp::{PageState, RmpMutation};
+use veil_trace::EventCounters;
+
+use crate::ops::{AdversaryOp, PolicyKnob, DATA_FRAMES, FRAMES, VA_SLOTS};
+use crate::oracle::{PageKind, RmpOracle};
+
+/// Frame layout of the fuzzing world (see [`World::new`]).
+pub const GHCB_GFN: u64 = 4;
+const BOOT_VMSA_GFN: u64 = 3;
+const DOMAIN_VMSA_GFNS: [(Vmpl, u64); 3] = [(Vmpl::Vmpl1, 5), (Vmpl::Vmpl2, 6), (Vmpl::Vmpl3, 7)];
+const POOL_FIRST: u64 = 8;
+const VA_BASE: u64 = 0x4000_0000;
+const PAGE: u64 = 4096;
+/// VMSA `rip` marker base: the executor stamps `MARKER_BASE + gfn` into
+/// every VMSA it knows about and asserts the value never changes — the
+/// "VMSA frames stay immutable" invariant, checked at the register
+/// level rather than through the (already differential) access path.
+const MARKER_BASE: u64 = 0x5EED_0000;
+
+/// End-of-sequence observation; twins must produce equal values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqObservation {
+    /// Total machine cycles charged.
+    pub total_cycles: u64,
+    /// Per-domain cycle attribution.
+    pub domain_cycles: [u64; 4],
+    /// Recorded trace events.
+    pub events: usize,
+    /// Trace stream digest.
+    pub digest: String,
+}
+
+/// One fuzzing world: hypervisor + machine on one side, oracle on the
+/// other, plus the VMPL-3 address space the TLB-stress ops churn.
+pub struct World {
+    /// The system under test.
+    pub hv: Hypervisor,
+    oracle: RmpOracle,
+    aspace: AddressSpace,
+    free: Vec<u64>,
+    data_frames: Vec<u64>,
+    ghcb: Ghcb,
+    markers: BTreeMap<u64, u64>,
+}
+
+impl World {
+    /// Boots the world: a launched CVM with a shared GHCB, one VMSA per
+    /// domain, a pool of validated all-VMPL pages, and a VMPL-3 address
+    /// space — mirrored step for step into the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prologue itself diverges (a harness bug, not a
+    /// finding).
+    pub fn new(cache_enabled: bool, mutation: Option<RmpMutation>) -> Self {
+        let mut machine =
+            Machine::new(MachineConfig { frames: FRAMES as usize, ..Default::default() });
+        machine.set_cache_enabled(cache_enabled);
+        machine.tracer_mut().set_enabled(true);
+        machine.set_metrics_enabled(true);
+        if let Some(m) = mutation {
+            machine.seed_rmp_mutation(m);
+        }
+        let mut hv = Hypervisor::new(machine);
+        let mut oracle = RmpOracle::new(FRAMES);
+
+        // Launch: two boot-image pages plus the boot VMSA frame.
+        let code = vec![0xC3u8; 64];
+        let data = vec![0xDAu8; 64];
+        hv.launch(&[(1, code), (2, data)], BOOT_VMSA_GFN).expect("launch");
+        for gfn in [1, 2, BOOT_VMSA_GFN] {
+            oracle.assign(gfn).expect("oracle launch assign");
+            oracle.pvalidate(Vmpl::Vmpl0, gfn, true).expect("oracle launch validate");
+        }
+        oracle.vmsa_create(Vmpl::Vmpl0, BOOT_VMSA_GFN).expect("oracle boot vmsa");
+        hv.machine.set_ghcb_msr(0, GHCB_GFN);
+
+        // One VMSA per lower domain, registered for switching.
+        for (vmpl, gfn) in DOMAIN_VMSA_GFNS {
+            hv.machine.rmp_assign(gfn).expect("assign vmsa frame");
+            hv.machine.pvalidate(Vmpl::Vmpl0, gfn, true).expect("validate vmsa frame");
+            let cpl = if vmpl == Vmpl::Vmpl2 { Cpl::Cpl3 } else { Cpl::Cpl0 };
+            hv.machine.vmsa_create(Vmpl::Vmpl0, gfn, 0, vmpl, cpl).expect("create vmsa");
+            hv.register_domain_vmsa(0, vmpl, gfn);
+            oracle.assign(gfn).expect("oracle assign vmsa frame");
+            oracle.pvalidate(Vmpl::Vmpl0, gfn, true).expect("oracle validate vmsa frame");
+            oracle.vmsa_create(Vmpl::Vmpl0, gfn).expect("oracle create vmsa");
+        }
+
+        // Pool pages: validated, all permissions for every VMPL.
+        let mut free = Vec::new();
+        for gfn in POOL_FIRST..FRAMES {
+            hv.machine.rmp_assign(gfn).expect("assign pool");
+            hv.machine.pvalidate(Vmpl::Vmpl0, gfn, true).expect("validate pool");
+            oracle.assign(gfn).expect("oracle assign pool");
+            oracle.pvalidate(Vmpl::Vmpl0, gfn, true).expect("oracle validate pool");
+            for vmpl in [Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3] {
+                hv.machine.rmpadjust(Vmpl::Vmpl0, gfn, vmpl, VmplPerms::all()).expect("grant pool");
+                oracle
+                    .rmpadjust(Vmpl::Vmpl0, gfn, vmpl, VmplPerms::all())
+                    .expect("oracle grant pool");
+            }
+            free.push(gfn);
+        }
+        free.reverse(); // pop() hands out the lowest gfn first
+
+        let aspace =
+            AddressSpace::new(&mut hv.machine, Vmpl::Vmpl3, &mut free).expect("address space");
+        let data_frames: Vec<u64> =
+            (0..DATA_FRAMES).map(|_| free.pop().expect("data frame")).collect();
+
+        let ghcb = Ghcb::at(&hv.machine, GHCB_GFN).expect("shared GHCB");
+        let mut world =
+            World { hv, oracle, aspace, free, data_frames, ghcb, markers: BTreeMap::new() };
+
+        // Stamp every prologue VMSA with its immutability marker.
+        for gfn in [BOOT_VMSA_GFN].into_iter().chain(DOMAIN_VMSA_GFNS.iter().map(|&(_, gfn)| gfn)) {
+            world.stamp_marker(gfn);
+        }
+        world.check_invariants().expect("prologue must satisfy all invariants");
+        world
+    }
+
+    fn stamp_marker(&mut self, gfn: u64) {
+        let marker = MARKER_BASE + gfn;
+        self.hv.machine.vmsa_mut(gfn).expect("live VMSA").regs.rip = marker;
+        self.markers.insert(gfn, marker);
+    }
+
+    /// Applies one op to machine and oracle. Returns a canonical result
+    /// line (for twin comparison) or a divergence description.
+    pub fn step(&mut self, op: &AdversaryOp) -> Result<String, String> {
+        let line = self.apply(op)?;
+        self.check_invariants().map_err(|e| format!("after {op:?}: {e}"))?;
+        Ok(line)
+    }
+
+    fn apply(&mut self, op: &AdversaryOp) -> Result<String, String> {
+        match *op {
+            AdversaryOp::GuestRead { vmpl, gfn } => {
+                let expected = self.oracle.guest_access(vmpl, gfn, Access::Read);
+                let actual = self.hv.machine.read(vmpl, gfn * PAGE, 8);
+                compare(op, &actual, &expected)?;
+                Ok(format!("read {actual:?}"))
+            }
+            AdversaryOp::GuestWrite { vmpl, gfn } => {
+                let expected = self.oracle.guest_access(vmpl, gfn, Access::Write);
+                let pattern = [0x10u8 + vmpl.index() as u8; 8];
+                let actual = self.hv.machine.write(vmpl, gfn * PAGE, &pattern);
+                compare(op, &actual, &expected)?;
+                Ok(format!("write {actual:?}"))
+            }
+            AdversaryOp::GuestExec { vmpl, user, gfn } => {
+                let cpl = if user { Cpl::Cpl3 } else { Cpl::Cpl0 };
+                let expected = self.oracle.guest_access(vmpl, gfn, Access::Execute(cpl));
+                let actual = self.hv.machine.check_exec(vmpl, cpl, gfn * PAGE);
+                compare(op, &actual, &expected)?;
+                Ok(format!("exec {actual:?}"))
+            }
+            AdversaryOp::HvRead { gfn } => {
+                let expected = self.oracle.hv_access(gfn);
+                let actual = self.hv.machine.hv_read(gfn * PAGE, 8);
+                compare(op, &actual, &expected)?;
+                Ok(format!("hv-read {actual:?}"))
+            }
+            AdversaryOp::HvWrite { gfn } => {
+                let expected = self.oracle.hv_access(gfn);
+                let actual = self.hv.machine.hv_write(gfn * PAGE, b"hostile!");
+                compare(op, &actual, &expected)?;
+                Ok(format!("hv-write {actual:?}"))
+            }
+            AdversaryOp::Pvalidate { vmpl, gfn, validate } => {
+                let expected = self.oracle.pvalidate(vmpl, gfn, validate);
+                let actual = self.hv.machine.pvalidate(vmpl, gfn, validate);
+                compare(op, &actual, &expected)?;
+                Ok(format!("pvalidate {actual:?}"))
+            }
+            AdversaryOp::Rmpadjust { executing, gfn, target, perms } => {
+                let perms = VmplPerms::from_bits_truncate(perms);
+                let expected = self.oracle.rmpadjust(executing, gfn, target, perms);
+                let actual = self.hv.machine.rmpadjust(executing, gfn, target, perms);
+                compare(op, &actual, &expected)?;
+                Ok(format!("rmpadjust {actual:?}"))
+            }
+            AdversaryOp::Assign { gfn } => {
+                let expected = self.oracle.assign(gfn);
+                let actual = self.hv.machine.rmp_assign(gfn);
+                compare(op, &actual, &expected)?;
+                Ok(format!("assign {actual:?}"))
+            }
+            AdversaryOp::Reclaim { gfn } => {
+                let expected = self.oracle.reclaim(gfn);
+                let actual = self.hv.machine.rmp_reclaim(gfn);
+                compare(op, &actual, &expected)?;
+                Ok(format!("reclaim {actual:?}"))
+            }
+            AdversaryOp::Psc { vmpl, gfn, to_private } => {
+                let expected_wr = self.oracle.guest_access(vmpl, GHCB_GFN, Access::Write);
+                let wr = self.ghcb.write_request(
+                    &mut self.hv.machine,
+                    vmpl,
+                    GhcbExit::PageStateChange,
+                    gfn,
+                    u64::from(to_private),
+                );
+                compare(op, &wr, &expected_wr)?;
+                if wr.is_err() {
+                    return Ok(format!("psc-req {wr:?}"));
+                }
+                let gate = self.oracle.exit_gate(GHCB_GFN);
+                let actual = self.hv.vmgexit(0, false);
+                match (&actual, &gate) {
+                    (Err(SnpError::Halted(got)), Err(want)) if got == want => {}
+                    (Ok(resp), Ok(())) => {
+                        let applied = if to_private {
+                            self.oracle.assign(gfn)
+                        } else {
+                            self.oracle.reclaim(gfn)
+                        };
+                        let agreed = matches!(
+                            (resp, applied.is_ok()),
+                            (veil_hv::HvResponse::PageStateChanged, true)
+                                | (veil_hv::HvResponse::Refused { .. }, false)
+                        );
+                        if !agreed {
+                            return Err(format!(
+                                "psc divergence on {op:?}: hypervisor {resp:?}, oracle {applied:?}"
+                            ));
+                        }
+                    }
+                    _ => {
+                        return Err(format!(
+                            "psc gate divergence on {op:?}: machine {actual:?}, oracle {gate:?}"
+                        ))
+                    }
+                }
+                Ok(format!("psc {actual:?}"))
+            }
+            AdversaryOp::VmsaCreate { executing, gfn, target } => {
+                let expected = self.oracle.vmsa_create(executing, gfn);
+                let actual = self.hv.machine.vmsa_create(executing, gfn, 1, target, Cpl::Cpl0);
+                compare(op, &actual, &expected)?;
+                if actual.is_ok() {
+                    self.stamp_marker(gfn);
+                }
+                Ok(format!("vmsa-create {actual:?}"))
+            }
+            AdversaryOp::VmsaDestroy { executing, gfn } => {
+                let expected = self.oracle.vmsa_destroy(executing, gfn);
+                let actual = self.hv.machine.vmsa_destroy(executing, gfn);
+                compare(op, &actual, &expected)?;
+                if actual.is_ok() {
+                    self.markers.remove(&gfn);
+                }
+                Ok(format!("vmsa-destroy {actual:?}"))
+            }
+            AdversaryOp::SwitchReq { vmpl, target, user_ghcb } => {
+                let expected_wr = self.oracle.guest_access(vmpl, GHCB_GFN, Access::Write);
+                let wr = self.ghcb.write_request(
+                    &mut self.hv.machine,
+                    vmpl,
+                    GhcbExit::DomainSwitch,
+                    target.index() as u64,
+                    0,
+                );
+                compare(op, &wr, &expected_wr)?;
+                if wr.is_err() {
+                    return Ok(format!("switch-req {wr:?}"));
+                }
+                let gate = self.oracle.exit_gate(GHCB_GFN);
+                let actual = self.hv.vmgexit(0, user_ghcb);
+                // Routing policy (refusals, misrouting, scope checks) is
+                // hypervisor behaviour, deliberately outside the RMP
+                // oracle; the gate and the result line still pin halts
+                // and twin equality.
+                match (&actual, &gate) {
+                    (Err(SnpError::Halted(got)), Err(want)) if got == want => {}
+                    (Ok(_), Ok(())) => {}
+                    _ => {
+                        return Err(format!(
+                            "switch gate divergence on {op:?}: machine {actual:?}, oracle {gate:?}"
+                        ))
+                    }
+                }
+                Ok(format!("switch {actual:?}"))
+            }
+            AdversaryOp::AutoExit => {
+                let resumed = self.hv.automatic_exit(0);
+                // Interrupt-relay halts are hypervisor-policy territory
+                // the oracle does not model: import them.
+                self.oracle.sync_halt(self.hv.machine.halted());
+                Ok(format!("auto-exit {resumed:?}"))
+            }
+            AdversaryOp::SetPolicy { knob, on } => {
+                match knob {
+                    PolicyKnob::RelayInterrupts => self.hv.policy.relay_interrupts_to_unt = on,
+                    PolicyKnob::TamperVmsa => self.hv.policy.tamper_vmsa_on_switch = on,
+                    PolicyKnob::EnclaveGhcbScope => self.hv.policy.enforce_enclave_ghcb_scope = on,
+                    PolicyKnob::RefuseSwitches => self.hv.policy.refuse_switches = on,
+                    PolicyKnob::MisrouteSwitches => {
+                        self.hv.policy.misroute_switch_to = on.then_some(Vmpl::Vmpl3)
+                    }
+                }
+                Ok(format!("policy {knob:?}={on}"))
+            }
+            AdversaryOp::Map { slot, frame, writable } => {
+                let pfn = self.data_frames[frame % DATA_FRAMES];
+                let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
+                let r = self.aspace.map(
+                    &mut self.hv.machine,
+                    Vmpl::Vmpl3,
+                    &mut self.free,
+                    va(slot),
+                    pfn,
+                    flags,
+                );
+                Ok(format!("map {r:?}"))
+            }
+            AdversaryOp::Unmap { slot } => {
+                let r = self.aspace.unmap(&mut self.hv.machine, Vmpl::Vmpl3, va(slot));
+                Ok(format!("unmap {r:?}"))
+            }
+            AdversaryOp::Protect { slot, writable } => {
+                let flags = if writable { PteFlags::user_data() } else { PteFlags::user_ro() };
+                let r = self.aspace.protect(&mut self.hv.machine, Vmpl::Vmpl3, va(slot), flags);
+                Ok(format!("protect {r:?}"))
+            }
+            AdversaryOp::ReadVirt { slot } => {
+                let r =
+                    self.aspace.read_virt(&self.hv.machine, va(slot), 8, Vmpl::Vmpl3, Cpl::Cpl3);
+                Ok(format!("read-virt {r:?}"))
+            }
+            AdversaryOp::WriteVirt { slot, byte } => {
+                let r = self.aspace.write_virt(
+                    &mut self.hv.machine,
+                    va(slot),
+                    &[byte; 8],
+                    Vmpl::Vmpl3,
+                    Cpl::Cpl3,
+                );
+                Ok(format!("write-virt {r:?}"))
+            }
+        }
+    }
+
+    /// The standing invariants, re-checked after every op.
+    fn check_invariants(&self) -> Result<(), String> {
+        let m = &self.hv.machine;
+        if m.halted() != self.oracle.halted() {
+            return Err(format!(
+                "halt divergence: machine {:?}, oracle {:?}",
+                m.halted(),
+                self.oracle.halted()
+            ));
+        }
+        for gfn in 0..FRAMES {
+            let entry = m.rmp().entry(gfn).expect("gfn in range");
+            let page = self.oracle.page(gfn).expect("gfn in range");
+            let kinds_match = matches!(
+                (entry.state(), page.kind),
+                (PageState::Shared, PageKind::Shared)
+                    | (PageState::AssignedUnvalidated, PageKind::Assigned)
+                    | (PageState::Validated, PageKind::Validated)
+            );
+            if !kinds_match || entry.is_vmsa() != page.vmsa {
+                return Err(format!(
+                    "RMP divergence at gfn {gfn}: machine {entry:?}, oracle {page:?}"
+                ));
+            }
+            for vmpl in Vmpl::ALL {
+                if entry.perms(vmpl) != page.perms[vmpl.index()] {
+                    return Err(format!(
+                        "perm divergence at gfn {gfn} {vmpl}: machine {:?}, oracle {:?}",
+                        entry.perms(vmpl),
+                        page.perms[vmpl.index()]
+                    ));
+                }
+            }
+            if m.rmp().hypervisor_accessible(gfn) != (page.kind == PageKind::Shared) {
+                return Err(format!("hypervisor accessibility drifted from shared-ness at {gfn}"));
+            }
+        }
+        let live: BTreeSet<u64> = m.vmsa_gfns().into_iter().collect();
+        if live != *self.oracle.live_vmsas() {
+            return Err(format!(
+                "live-VMSA divergence: machine {live:?}, oracle {:?}",
+                self.oracle.live_vmsas()
+            ));
+        }
+        for (&gfn, &marker) in &self.markers {
+            match m.vmsa(gfn) {
+                Some(v) if v.regs.rip == marker => {}
+                other => {
+                    return Err(format!(
+                    "VMSA immutability violated at gfn {gfn}: marker {marker:#x}, state {other:?}"
+                ))
+                }
+            }
+        }
+        let domain = m.domain_cycles();
+        let total: u64 = domain.iter().sum();
+        if total != m.cycles().total() {
+            return Err(format!(
+                "cycle attribution drifted: domains sum {total}, machine total {}",
+                m.cycles().total()
+            ));
+        }
+        Ok(())
+    }
+
+    /// End-of-sequence trace/metrics consistency checks and observation.
+    pub fn finish(&self) -> Result<SeqObservation, String> {
+        let m = &self.hv.machine;
+        let tracer = m.tracer();
+        if tracer.dropped() != 0 {
+            return Err(format!("trace ring wrapped: {} dropped", tracer.dropped()));
+        }
+        let records = tracer.snapshot();
+        veil_trace::invariants::check(&records)
+            .map_err(|v| format!("trace invariant violated: {v}"))?;
+        let fold = EventCounters::from_records(&records);
+        if fold != *tracer.counters() {
+            return Err("event-stream fold disagrees with live counters".into());
+        }
+        if m.metrics().event_counters() != tracer.counters() {
+            return Err("metrics registry fold drifted from the tracer fold".into());
+        }
+        Ok(SeqObservation {
+            total_cycles: m.cycles().total(),
+            domain_cycles: m.domain_cycles(),
+            events: records.len(),
+            digest: tracer.digest_hex(),
+        })
+    }
+}
+
+fn va(slot: u64) -> u64 {
+    debug_assert!(slot < VA_SLOTS);
+    VA_BASE + slot * PAGE
+}
+
+/// Exact-verdict comparison: the machine's success/error must equal the
+/// oracle's prediction down to the `NpfCause`.
+fn compare<T: Debug>(
+    op: &AdversaryOp,
+    actual: &Result<T, SnpError>,
+    expected: &Result<(), SnpError>,
+) -> Result<(), String> {
+    let a = actual.as_ref().map(|_| ()).map_err(Clone::clone);
+    if a != *expected {
+        return Err(format!("verdict divergence on {op:?}: machine {a:?}, oracle {expected:?}"));
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! `veil-adversary` — a deterministic, seed-replayable attack-sequence
+//! fuzzer that runs every sequence against the real
+//! [`veil_snp::machine::Machine`] *and* a naive reference RMP oracle,
+//! demanding exact verdict equality after every op.
+//!
+//! Veil's security argument rests on the access-control semantics of
+//! the simulated SNP primitives (`RMPADJUST`, `PVALIDATE`, VMSA
+//! immutability, VMPL masks). Scenario tests pin single operations;
+//! attack *sequences* are where SNP state machines historically break.
+//! This crate generates weighted random sequences over the full hostile
+//! surface ([`ops::AdversaryOp`]), executes each simultaneously on a
+//! caches-on and a caches-off twin ([`exec::World`]), compares both
+//! against the ~200-line [`oracle::RmpOracle`], and greedily shrinks
+//! any divergence to a minimal replayable program
+//! ([`runner::run_fuzz`]).
+//!
+//! The `fuzz` binary drives it from CI and the command line; see
+//! `DESIGN.md` §10 for the op algebra and the oracle's deliberate
+//! non-goals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod ops;
+pub mod oracle;
+pub mod runner;
+
+pub use exec::{SeqObservation, World};
+pub use ops::{op_strategy, sequence_strategy, AdversaryOp, PolicyKnob};
+pub use oracle::RmpOracle;
+pub use runner::{
+    case_seed, run_fuzz, run_sequence, FuzzConfig, FuzzFailure, FuzzReport, SequenceStats,
+    SEED_LABEL,
+};

@@ -36,6 +36,18 @@ pub enum NpfCause {
     OutOfRange,
 }
 
+impl NpfCause {
+    /// Every cause, in declaration order — for exhaustive table-driven
+    /// tests that must break at compile time when a variant is added.
+    pub const ALL: [NpfCause; 5] = [
+        NpfCause::NotAssigned,
+        NpfCause::NotValidated,
+        NpfCause::VmplDenied,
+        NpfCause::VmsaImmutable,
+        NpfCause::OutOfRange,
+    ];
+}
+
 impl fmt::Display for NestedPageFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

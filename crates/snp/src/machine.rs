@@ -12,7 +12,7 @@ use crate::cost::{CostCategory, CostModel, CycleAccount};
 use crate::fault::{HaltReason, NestedPageFault, NpfCause, SnpError};
 use crate::mem::{gfn_of, GuestMemory, PAGE_SIZE};
 use crate::perms::{Access, Cpl, Vmpl, VmplPerms};
-use crate::rmp::{PageState, Rmp};
+use crate::rmp::{PageState, Rmp, RmpMutation};
 use crate::tlb::MachineCaches;
 use crate::vmsa::Vmsa;
 use std::collections::BTreeMap;
@@ -121,6 +121,15 @@ impl Machine {
     /// The RMP.
     pub fn rmp(&self) -> &Rmp {
         &self.rmp
+    }
+
+    /// Seeds a deliberate RMP semantics bug and drops any cached
+    /// verdicts derived from the unmutated rules. Mutation-testing hook
+    /// for the adversarial differential harness (`veil-adversary`) only.
+    #[doc(hidden)]
+    pub fn seed_rmp_mutation(&mut self, mutation: RmpMutation) {
+        self.rmp.seed_mutation(mutation);
+        self.cache_flush();
     }
 
     /// Cost constants in effect.
@@ -563,7 +572,7 @@ impl Machine {
         }
         // The executor must itself hold every permission it grants.
         let held = entry.perms(executing);
-        if !held.contains(perms) {
+        if !held.contains(perms) && self.rmp.mutation() != Some(RmpMutation::AllowPermEscalation) {
             return Err(SnpError::PermEscalation);
         }
         self.span_enter("rmpadjust");

@@ -60,17 +60,50 @@ impl RmpEntry {
     }
 }
 
+/// A deliberately seeded semantics bug, used by `veil-adversary` to
+/// mutation-test its differential harness: each variant disables one
+/// security check, and the fuzzer must catch and shrink the resulting
+/// divergence from the reference oracle. Hidden from docs because
+/// nothing outside that harness may ever set one.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmpMutation {
+    /// [`Rmp::check`] skips the VMSA-immutability fault, exposing VMSA
+    /// pages to ordinary permission-checked access.
+    SkipVmsaImmutable,
+    /// `Machine::rmpadjust` skips the no-self-escalation rule, letting a
+    /// VMPL grant permissions it does not itself hold.
+    AllowPermEscalation,
+    /// [`Rmp::set_validated`] treats double validation as a no-op
+    /// success instead of a `ValidationMismatch`.
+    AllowDoubleValidate,
+}
+
 /// The reverse map table for the whole guest-physical space.
 #[derive(Debug, Clone)]
 pub struct Rmp {
     entries: Vec<RmpEntry>,
+    mutation: Option<RmpMutation>,
 }
 
 impl Rmp {
     /// Creates an RMP for `frames` pages, all initially hypervisor-shared
     /// (pages start hypervisor-owned; the launch flow assigns + validates).
     pub fn new(frames: usize) -> Self {
-        Rmp { entries: vec![RmpEntry::shared(); frames] }
+        Rmp { entries: vec![RmpEntry::shared(); frames], mutation: None }
+    }
+
+    /// Seeds a deliberate semantics bug. Mutation-testing hook for the
+    /// adversarial differential harness only.
+    #[doc(hidden)]
+    pub fn seed_mutation(&mut self, mutation: RmpMutation) {
+        self.mutation = Some(mutation);
+    }
+
+    /// The seeded semantics bug, if any.
+    #[doc(hidden)]
+    pub fn mutation(&self) -> Option<RmpMutation> {
+        self.mutation
     }
 
     /// Number of tracked frames.
@@ -124,10 +157,16 @@ impl Rmp {
     /// Guest-side `PVALIDATE` state flip, privilege-checked by the machine
     /// layer. Returns `false` on state mismatch (double validation).
     pub fn set_validated(&mut self, gfn: u64, validated: bool) -> bool {
+        let mutation = self.mutation;
         match self.entry_mut(gfn) {
             Some(e) => match (e.state, validated) {
                 (PageState::AssignedUnvalidated, true) => {
                     e.state = PageState::Validated;
+                    true
+                }
+                (PageState::Validated, true)
+                    if mutation == Some(RmpMutation::AllowDoubleValidate) =>
+                {
                     true
                 }
                 (PageState::Validated, false) => {
@@ -176,7 +215,7 @@ impl Rmp {
             PageState::Shared => Ok(()),
             PageState::AssignedUnvalidated => Err(fault(NpfCause::NotValidated)),
             PageState::Validated => {
-                if entry.vmsa {
+                if entry.vmsa && self.mutation != Some(RmpMutation::SkipVmsaImmutable) {
                     // VMSA pages are immutable to software at any VMPL;
                     // only the "hardware" (machine layer) touches them.
                     return Err(fault(NpfCause::VmsaImmutable));

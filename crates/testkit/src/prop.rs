@@ -75,6 +75,57 @@ impl<T: 'static> Strategy<T> {
     }
 }
 
+impl<T: Clone + 'static> Strategy<T> {
+    /// Length-aware vector strategy: `self` generates each element, the
+    /// vector length is uniform in `len`.
+    ///
+    /// Generation is identical to [`vecs`] (which delegates here), so
+    /// existing `VEIL_TEST_SEED` replays keep reproducing bit-for-bit.
+    /// Shrinking is sequence-first with a prefix ladder — minimum
+    /// length, then quarter / half / three-quarter / one-less prefixes —
+    /// followed by single-element drops and in-place element shrinks,
+    /// so long failing op sequences collapse in a few greedy steps
+    /// instead of one element per step.
+    pub fn vec_of(self, len: Range<usize>) -> Strategy<Vec<T>> {
+        let min_len = len.start;
+        let gen_elem = self.clone();
+        let gen_len = len.clone();
+        Strategy::from_fn(move |rng| {
+            let n = rng.gen_range(gen_len.clone());
+            (0..n).map(|_| gen_elem.generate(rng)).collect()
+        })
+        .with_shrink(move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            // 1. Shorter prefixes, simplest first.
+            if v.len() > min_len {
+                let mut cuts =
+                    vec![min_len, v.len() / 4, v.len() / 2, v.len() * 3 / 4, v.len() - 1];
+                cuts.retain(|&c| c >= min_len && c < v.len());
+                cuts.sort_unstable();
+                cuts.dedup();
+                for c in cuts {
+                    out.push(v[..c].to_vec());
+                }
+                // Dropping a single interior element (bounded fan-out).
+                for i in 0..v.len().min(16) {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    out.push(w);
+                }
+            }
+            // 2. Same length, simpler elements.
+            for i in 0..v.len().min(16) {
+                for cand in self.shrinks(&v[i]).into_iter().take(2) {
+                    let mut w = v.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
+        })
+    }
+}
+
 /// Uniform integers in `[range.start, range.end)`, shrinking toward the
 /// lower bound.
 pub fn ints<T>(range: Range<T>) -> Strategy<T>
@@ -139,44 +190,10 @@ pub fn bytes(len: Range<usize>) -> Strategy<Vec<u8>> {
     vecs(any_u8(), len)
 }
 
-/// Vectors of `elem` with a length in `len`.
-///
-/// Shrinking is greedy and sequence-first: drop to the minimum length,
-/// halve, drop single elements, then shrink elements in place.
+/// Vectors of `elem` with a length in `len`. Sugar for
+/// [`Strategy::vec_of`].
 pub fn vecs<T: Clone + 'static>(elem: Strategy<T>, len: Range<usize>) -> Strategy<Vec<T>> {
-    let min_len = len.start;
-    let gen_elem = elem.clone();
-    Strategy::from_fn(move |rng| {
-        let n = rng.gen_range(len.clone());
-        (0..n).map(|_| gen_elem.generate(rng)).collect()
-    })
-    .with_shrink(move |v: &Vec<T>| {
-        let mut out: Vec<Vec<T>> = Vec::new();
-        // 1. Shorter sequences.
-        if v.len() > min_len {
-            out.push(v[..min_len].to_vec());
-            let half = min_len.max(v.len() / 2);
-            if half < v.len() {
-                out.push(v[..half].to_vec());
-            }
-            out.push(v[..v.len() - 1].to_vec());
-            // Dropping a single interior element (bounded fan-out).
-            for i in 0..v.len().min(16) {
-                let mut w = v.clone();
-                w.remove(i);
-                out.push(w);
-            }
-        }
-        // 2. Same length, simpler elements.
-        for i in 0..v.len().min(16) {
-            for cand in elem.shrinks(&v[i]).into_iter().take(2) {
-                let mut w = v.clone();
-                w[i] = cand;
-                out.push(w);
-            }
-        }
-        out
-    })
+    elem.vec_of(len)
 }
 
 /// Picks one of `branches` uniformly per generated value.
@@ -437,6 +454,52 @@ mod tests {
         for cand in s.shrinks(&v) {
             assert!(cand.len() >= 3, "shrank below min len: {cand:?}");
         }
+    }
+
+    #[test]
+    fn vec_of_generates_identically_to_vecs() {
+        // `vecs` delegates to `vec_of`; pin the equivalence anyway so a
+        // future split cannot silently invalidate recorded seeds.
+        let a = u64s(0..50).vec_of(2..9);
+        let b = vecs(u64s(0..50), 2..9);
+        for seed in 0..32 {
+            let mut ra = TestRng::from_seed(seed);
+            let mut rb = TestRng::from_seed(seed);
+            assert_eq!(a.generate(&mut ra), b.generate(&mut rb));
+        }
+    }
+
+    #[test]
+    fn vec_of_prefix_ladder_shrinks_fast() {
+        let s = u64s(0..10).vec_of(0..80);
+        let v: Vec<u64> = (0..64).collect();
+        let cands = s.shrinks(&v);
+        // The ladder offers the empty vec, the quarter/half/three-quarter
+        // prefixes, and the one-less prefix before any single-drop.
+        assert_eq!(cands[0], Vec::<u64>::new());
+        assert_eq!(cands[1].len(), 16);
+        assert_eq!(cands[2].len(), 32);
+        assert_eq!(cands[3].len(), 48);
+        assert_eq!(cands[4].len(), 63);
+        for c in &cands {
+            assert!(c.len() <= v.len());
+        }
+    }
+
+    #[test]
+    fn vec_of_respects_min_len_and_shrinks_elements() {
+        let s = u64s(0..10).vec_of(3..6);
+        let mut rng = TestRng::from_seed(1);
+        let v = s.generate(&mut rng);
+        let cands = s.shrinks(&v);
+        for cand in &cands {
+            assert!(cand.len() >= 3, "shrank below min len: {cand:?}");
+        }
+        // At minimum length, only element shrinks remain — and they exist
+        // whenever some element is nonzero.
+        let pinned = vec![5u64, 0, 7];
+        assert!(s.shrinks(&pinned).iter().all(|c| c.len() == 3));
+        assert!(!s.shrinks(&pinned).is_empty());
     }
 
     #[test]

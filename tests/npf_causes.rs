@@ -1,0 +1,97 @@
+//! Exhaustive `#NPF` cause coverage.
+//!
+//! Every [`NpfCause`] variant must be reachable from safe, public API
+//! calls — no test-only back doors, no constructed faults. The match in
+//! [`witness`] is deliberately wildcard-free: adding a variant to
+//! `NpfCause` breaks this file at compile time until a reproduction is
+//! written for it, and `NpfCause::ALL` keeps the loop honest at run
+//! time.
+
+use veil_snp::fault::{NestedPageFault, NpfCause, SnpError};
+use veil_snp::machine::{Machine, MachineConfig};
+use veil_snp::perms::{Access, Cpl, Vmpl, VmplPerms};
+
+const FRAMES: usize = 16;
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig { frames: FRAMES, ..Default::default() })
+}
+
+/// Produces, through public API calls only, an operation whose result
+/// is an `#NPF` with exactly `cause`, and returns the observed fault.
+fn witness(cause: NpfCause) -> NestedPageFault {
+    let mut m = machine();
+    let result = match cause {
+        NpfCause::NotAssigned => {
+            // A page taken private is, by definition, no longer
+            // hypervisor-accessible; the host write faults NotAssigned.
+            m.rmp_assign(1).unwrap();
+            m.hv_write(Machine::gpa(1), b"host probe")
+        }
+        NpfCause::NotValidated => {
+            // Assigned but never PVALIDATEd: even VMPL-0 cannot touch
+            // it — the guard against pre-validation remap attacks.
+            m.rmp_assign(1).unwrap();
+            m.read(Vmpl::Vmpl0, Machine::gpa(1), 8).map(|_| ())
+        }
+        NpfCause::VmplDenied => {
+            // Validated, but VMPL-3 was granted read-only; its write
+            // trips the VMPL permission mask.
+            m.rmp_assign(1).unwrap();
+            m.pvalidate(Vmpl::Vmpl0, 1, true).unwrap();
+            m.rmpadjust(Vmpl::Vmpl0, 1, Vmpl::Vmpl3, VmplPerms::READ).unwrap();
+            m.write(Vmpl::Vmpl3, Machine::gpa(1), b"denied")
+        }
+        NpfCause::VmsaImmutable => {
+            // A live VMSA page is immutable to software at any VMPL —
+            // even VMPL-0, even with full permissions granted.
+            m.rmp_assign(1).unwrap();
+            m.pvalidate(Vmpl::Vmpl0, 1, true).unwrap();
+            m.vmsa_create(Vmpl::Vmpl0, 1, 0, Vmpl::Vmpl1, Cpl::Cpl0).unwrap();
+            m.read(Vmpl::Vmpl0, Machine::gpa(1), 8).map(|_| ())
+        }
+        NpfCause::OutOfRange => {
+            // One past the last frame: the fault names the gfn, not
+            // merely "bad address".
+            m.read(Vmpl::Vmpl0, Machine::gpa(FRAMES as u64), 8).map(|_| ())
+        }
+    };
+    match result {
+        Err(SnpError::Npf(npf)) => npf,
+        other => panic!("{cause:?} witness produced {other:?} instead of an #NPF"),
+    }
+}
+
+#[test]
+fn every_npf_cause_is_reachable_from_safe_api() {
+    for cause in NpfCause::ALL {
+        let npf = witness(cause);
+        assert_eq!(npf.cause, cause, "witness for {cause:?} faulted with {:?}", npf.cause);
+    }
+}
+
+/// The witnesses pin not just the cause but the whole fault payload, so
+/// a refactor cannot silently change which VMPL/access/gfn is blamed.
+#[test]
+fn npf_payloads_blame_the_right_actor() {
+    let not_assigned = witness(NpfCause::NotAssigned);
+    assert_eq!(
+        not_assigned,
+        NestedPageFault {
+            gfn: 1,
+            vmpl: Vmpl::Vmpl0,
+            access: Access::Write,
+            cause: NpfCause::NotAssigned
+        }
+    );
+
+    let denied = witness(NpfCause::VmplDenied);
+    assert_eq!(denied.vmpl, Vmpl::Vmpl3);
+    assert_eq!(denied.access, Access::Write);
+
+    let vmsa = witness(NpfCause::VmsaImmutable);
+    assert_eq!(vmsa.vmpl, Vmpl::Vmpl0, "immutability must bind even for VMPL-0");
+
+    let oor = witness(NpfCause::OutOfRange);
+    assert_eq!(oor.gfn, FRAMES as u64);
+}

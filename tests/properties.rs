@@ -50,7 +50,7 @@ fn op_strategy() -> Strategy<RmpOp> {
 /// hypervisor read private memory, or corrupt validation state.
 #[test]
 fn rmp_invariants_hold_under_random_ops() {
-    check("rmp_invariants_hold_under_random_ops", 64, &vecs(op_strategy(), 1..200), |ops| {
+    check("rmp_invariants_hold_under_random_ops", 64, &op_strategy().vec_of(1..200), |ops| {
         let mut m = machine();
         for op in ops {
             match op {

@@ -168,6 +168,181 @@ fn direct_pt_edit_is_snooped() {
     assert!(aspace.read_virt(&m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).is_err());
 }
 
+/// One scripted action against a (machine, address-space) pair in the
+/// same-gfn churn twin test below.
+#[derive(Debug, Clone, Copy)]
+enum Churn {
+    /// VMPL-0 RMPADJUSTs `target`'s permissions on the contended gfn.
+    Adjust(Vmpl, u8),
+    /// Physical read of the contended gfn from `vmpl`.
+    ReadPhys(Vmpl),
+    /// Physical write to the contended gfn from `vmpl`.
+    WritePhys(Vmpl),
+    /// Instruction fetch from the contended gfn.
+    Exec(Vmpl, Cpl),
+    /// Remaps the contended page's VA read-only (`true`) or rw.
+    Protect(bool),
+    /// VMPL-3 virtual read through the mapping.
+    ReadVirt,
+    /// VMPL-3 virtual write through the mapping.
+    WriteVirt,
+    /// VMPL-0 flips validation of the contended gfn off/on.
+    Validate(bool),
+}
+
+/// A machine + VMPL-3 address space with one page mapped at `VADDR`,
+/// with caching forced on or off — the twin halves of the lockstep
+/// test.
+fn churn_world(cache: bool) -> (Machine, AddressSpace, u64) {
+    let mut m = Machine::new(MachineConfig { frames: FRAMES, ..Default::default() });
+    m.set_cache_enabled(cache);
+    let mut free: Vec<u64> = Vec::new();
+    for gfn in 1..FRAMES as u64 {
+        m.rmp_assign(gfn).unwrap();
+        m.pvalidate(Vmpl::Vmpl0, gfn, true).unwrap();
+        for v in [Vmpl::Vmpl1, Vmpl::Vmpl2, Vmpl::Vmpl3] {
+            m.rmpadjust(Vmpl::Vmpl0, gfn, v, VmplPerms::all()).unwrap();
+        }
+        free.push(gfn);
+    }
+    free.reverse();
+    let aspace = AddressSpace::new(&mut m, Vmpl::Vmpl3, &mut free).unwrap();
+    let pfn = free.pop().unwrap();
+    aspace.map(&mut m, Vmpl::Vmpl3, &mut free, VADDR, pfn, PteFlags::user_data()).unwrap();
+    (m, aspace, pfn)
+}
+
+/// Applies one churn step and renders the verdict as a comparable
+/// string (`Debug` of the full error, so causes must match exactly —
+/// not just the ok/err bit).
+fn churn_step(step: Churn, m: &mut Machine, aspace: &AddressSpace, gfn: u64) -> String {
+    match step {
+        Churn::Adjust(target, bits) => format!(
+            "{:?}",
+            m.rmpadjust(Vmpl::Vmpl0, gfn, target, VmplPerms::from_bits_truncate(bits))
+        ),
+        Churn::ReadPhys(v) => format!("{:?}", m.read(v, Machine::gpa(gfn), 8).map(|_| ())),
+        Churn::WritePhys(v) => format!("{:?}", m.write(v, Machine::gpa(gfn), b"churn!!!")),
+        Churn::Exec(v, cpl) => format!("{:?}", m.check_exec(v, cpl, Machine::gpa(gfn))),
+        Churn::Protect(ro) => {
+            let flags = if ro { PteFlags::user_ro() } else { PteFlags::user_data() };
+            format!("{:?}", aspace.protect(m, Vmpl::Vmpl3, VADDR, flags))
+        }
+        Churn::ReadVirt => {
+            format!("{:?}", aspace.read_virt(m, VADDR, 8, Vmpl::Vmpl3, Cpl::Cpl3).map(|_| ()))
+        }
+        Churn::WriteVirt => {
+            format!("{:?}", aspace.write_virt(m, VADDR, b"virtwrit", Vmpl::Vmpl3, Cpl::Cpl3))
+        }
+        Churn::Validate(on) => format!("{:?}", m.pvalidate(Vmpl::Vmpl0, gfn, on)),
+    }
+}
+
+/// Interleaved protect/access/RMPADJUST churn on the SAME gfn across
+/// every VMPL, run in lockstep on a caches-on and a caches-off twin.
+/// Every step's exact verdict (including fault cause) must agree — the
+/// strongest form of the "a cache may never change semantics" claim,
+/// aimed precisely at the revoke-then-re-grant windows where stale
+/// entries would hide.
+#[test]
+fn cache_twins_agree_under_same_gfn_cross_vmpl_churn() {
+    use Churn::*;
+    let script = [
+        // Warm every cache flavor: translations, verdicts, exec checks.
+        ReadVirt,
+        WriteVirt,
+        ReadPhys(Vmpl::Vmpl1),
+        Exec(Vmpl::Vmpl3, Cpl::Cpl3),
+        // Revoke VMPL-3 write; the cached writable verdicts must die.
+        Adjust(Vmpl::Vmpl3, 0b0101),
+        WriteVirt,
+        WritePhys(Vmpl::Vmpl3),
+        ReadVirt,
+        // Re-grant, then immediately revoke everything below VMPL-1.
+        Adjust(Vmpl::Vmpl3, 0b1111),
+        WriteVirt,
+        Adjust(Vmpl::Vmpl3, 0b0000),
+        Adjust(Vmpl::Vmpl2, 0b0000),
+        ReadVirt,
+        ReadPhys(Vmpl::Vmpl2),
+        ReadPhys(Vmpl::Vmpl1),
+        // PTE-level churn racing the RMP-level churn on the same gfn.
+        Adjust(Vmpl::Vmpl3, 0b0011),
+        Protect(true),
+        WriteVirt,
+        ReadVirt,
+        Protect(false),
+        WriteVirt,
+        // Exec-permission flip-flop at both rings.
+        Adjust(Vmpl::Vmpl3, 0b0111),
+        Exec(Vmpl::Vmpl3, Cpl::Cpl3),
+        Exec(Vmpl::Vmpl3, Cpl::Cpl0),
+        Adjust(Vmpl::Vmpl3, 0b1011),
+        Exec(Vmpl::Vmpl3, Cpl::Cpl3),
+        Exec(Vmpl::Vmpl3, Cpl::Cpl0),
+        // Validation bounce: everything must fault while invalid, and
+        // only VMPL-0 regains access after revalidation (RMPADJUST
+        // grants survive, lower levels were zeroed above... except
+        // VMPL-3 holds 0b1011 from the flip-flop).
+        Validate(false),
+        ReadPhys(Vmpl::Vmpl0),
+        ReadVirt,
+        Validate(true),
+        ReadPhys(Vmpl::Vmpl0),
+        ReadPhys(Vmpl::Vmpl3),
+        ReadVirt,
+        WriteVirt,
+    ];
+
+    let (mut hot, hot_as, gfn_hot) = churn_world(true);
+    let (mut cold, cold_as, gfn_cold) = churn_world(false);
+    assert_eq!(gfn_hot, gfn_cold, "twins must contend on the same gfn");
+
+    for (i, step) in script.iter().enumerate() {
+        let h = churn_step(*step, &mut hot, &hot_as, gfn_hot);
+        let c = churn_step(*step, &mut cold, &cold_as, gfn_cold);
+        assert_eq!(h, c, "twin divergence at step {i} ({step:?}): caches-on {h} vs caches-off {c}");
+    }
+    // The caches-on twin must actually have been exercising its caches,
+    // or the lockstep proved nothing.
+    let stats = hot.cache_stats();
+    assert!(stats.tlb_hits > 0, "script never hit the TLB");
+    assert!(stats.verdict_hits > 0, "script never hit the verdict cache");
+    assert_eq!(cold.cache_stats().tlb_hits, 0);
+}
+
+/// RMPADJUST on one VMPL's permissions must not disturb another VMPL's
+/// cached verdicts for the same gfn — targeted invalidation, observed
+/// through verdict equality with an uncached twin rather than through
+/// cache internals.
+#[test]
+fn rmpadjust_for_one_vmpl_keeps_other_vmpls_correct_on_same_gfn() {
+    use Churn::*;
+    let (mut hot, hot_as, gfn) = churn_world(true);
+    let (mut cold, cold_as, _) = churn_world(false);
+
+    // Warm verdicts for VMPL-1 and VMPL-2 on the contended gfn, then
+    // churn only VMPL-3's mask and check the others stay live and
+    // correct at every point.
+    let script = [
+        ReadPhys(Vmpl::Vmpl1),
+        ReadPhys(Vmpl::Vmpl2),
+        Adjust(Vmpl::Vmpl3, 0b0000),
+        ReadPhys(Vmpl::Vmpl1),
+        ReadPhys(Vmpl::Vmpl2),
+        ReadPhys(Vmpl::Vmpl3),
+        Adjust(Vmpl::Vmpl1, 0b0001),
+        WritePhys(Vmpl::Vmpl1),
+        ReadPhys(Vmpl::Vmpl1),
+        ReadPhys(Vmpl::Vmpl2),
+    ];
+    for (i, step) in script.iter().enumerate() {
+        let h = churn_step(*step, &mut hot, &hot_as, gfn);
+        let c = churn_step(*step, &mut cold, &cold_as, gfn);
+        assert_eq!(h, c, "twin divergence at step {i} ({step:?})");
+    }
+}
+
 #[test]
 fn psc_to_shared_under_hostile_policy_kills_cached_state() {
     // Drive the revocation through the hypervisor's GHCB page-state
