@@ -19,7 +19,8 @@
 //!   only if the bug is caught and shrunk to ≤ 10 ops — the harness's
 //!   own mutation self-test.
 //! * `--bench` measures fuzzer throughput (wall-clock ops/sec plus
-//!   model cycles per sequence) and writes `BENCH_ADVERSARY.json`.
+//!   model cycles per sequence) and writes `BENCH_ADVERSARY.json`,
+//!   failing the run if throughput drops below a regression floor.
 
 use std::time::Instant;
 
@@ -157,6 +158,11 @@ fn main() {
 fn bench(args: &Args) {
     const BENCH_SEQUENCES: u64 = 12;
     const BENCH_OPS: usize = 150;
+    // Regression floor: CI release builds run well over an order of
+    // magnitude above this; dipping below it means the differential
+    // hot path (twin stepping + invariant sweeps) got dramatically
+    // slower and the run fails instead of silently recording it.
+    const MIN_OPS_PER_SEC: f64 = 500.0;
 
     let strategy = sequence_strategy(BENCH_OPS);
     let sequences: Vec<_> = (0..BENCH_SEQUENCES)
@@ -201,5 +207,11 @@ fn bench(args: &Args) {
             eprintln!("fuzz: could not write {}: {e}", args.out);
             std::process::exit(1);
         }
+    }
+    if ops_per_sec < MIN_OPS_PER_SEC {
+        eprintln!(
+            "fuzz: throughput regression: {ops_per_sec:.0} ops/sec < floor {MIN_OPS_PER_SEC}"
+        );
+        std::process::exit(1);
     }
 }

@@ -43,8 +43,53 @@ pub struct SeqObservation {
     pub digest: String,
 }
 
+/// Op-variant and verdict-variant coverage recorded by a [`World`] as
+/// it executes — the raw material of the coverage audit test, which
+/// demands that the fuzzer and model checker together reach every
+/// [`AdversaryOp`] variant and every [`SnpError`] variant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// `AdversaryOp` variant names executed at least once.
+    pub ops: BTreeSet<&'static str>,
+    /// `SnpError` variant names observed at least once (machine side).
+    pub verdicts: BTreeSet<&'static str>,
+}
+
+impl Coverage {
+    /// Unions `other` into `self`.
+    pub fn merge(&mut self, other: &Coverage) {
+        self.ops.extend(other.ops.iter());
+        self.verdicts.extend(other.verdicts.iter());
+    }
+}
+
+/// Shape of the booted world: the fuzzer's default, or a small
+/// model-checking configuration with reserved gfns.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Guest-physical frames in the machine (and the oracle).
+    pub frames: u64,
+    /// Gfns excluded from the validated pool and left hypervisor-shared
+    /// — the model checker's "model gfns", which must start from the
+    /// architectural reset state so every RMP state stays reachable.
+    pub reserved: Vec<u64>,
+    /// Enable tracing + metrics. The fuzzer wants the observation
+    /// channel; the model checker turns it off so per-edge clones stay
+    /// cheap. [`World::finish`] requires `observe`.
+    pub observe: bool,
+}
+
+impl WorldConfig {
+    /// The fuzzing world: [`FRAMES`] frames, no reservations, full
+    /// trace/metrics observation.
+    pub fn fuzz() -> Self {
+        WorldConfig { frames: FRAMES, reserved: Vec::new(), observe: true }
+    }
+}
+
 /// One fuzzing world: hypervisor + machine on one side, oracle on the
 /// other, plus the VMPL-3 address space the TLB-stress ops churn.
+#[derive(Debug, Clone)]
 pub struct World {
     /// The system under test.
     pub hv: Hypervisor,
@@ -54,28 +99,52 @@ pub struct World {
     data_frames: Vec<u64>,
     ghcb: Ghcb,
     markers: BTreeMap<u64, u64>,
+    frames: u64,
+    observe: bool,
+    coverage: Coverage,
 }
 
 impl World {
-    /// Boots the world: a launched CVM with a shared GHCB, one VMSA per
-    /// domain, a pool of validated all-VMPL pages, and a VMPL-3 address
-    /// space — mirrored step for step into the oracle.
+    /// Boots the default fuzzing world ([`WorldConfig::fuzz`]): a
+    /// launched CVM with a shared GHCB, one VMSA per domain, a pool of
+    /// validated all-VMPL pages, and a VMPL-3 address space — mirrored
+    /// step for step into the oracle.
     ///
     /// # Panics
     ///
     /// Panics if the prologue itself diverges (a harness bug, not a
     /// finding).
     pub fn new(cache_enabled: bool, mutation: Option<RmpMutation>) -> Self {
+        World::with_config(cache_enabled, mutation, &WorldConfig::fuzz())
+    }
+
+    /// Boots a world with an explicit [`WorldConfig`] — the
+    /// graph-driveable entry point the model checker uses to build tiny
+    /// configurations with pristine reserved gfns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prologue itself diverges (a harness bug, not a
+    /// finding), or if the configuration reserves a prologue frame.
+    pub fn with_config(
+        cache_enabled: bool,
+        mutation: Option<RmpMutation>,
+        cfg: &WorldConfig,
+    ) -> Self {
+        assert!(
+            cfg.reserved.iter().all(|&gfn| (POOL_FIRST..cfg.frames).contains(&gfn)),
+            "reserved gfns must lie in the pool range"
+        );
         let mut machine =
-            Machine::new(MachineConfig { frames: FRAMES as usize, ..Default::default() });
+            Machine::new(MachineConfig { frames: cfg.frames as usize, ..Default::default() });
         machine.set_cache_enabled(cache_enabled);
-        machine.tracer_mut().set_enabled(true);
-        machine.set_metrics_enabled(true);
+        machine.tracer_mut().set_enabled(cfg.observe);
+        machine.set_metrics_enabled(cfg.observe);
         if let Some(m) = mutation {
             machine.seed_rmp_mutation(m);
         }
         let mut hv = Hypervisor::new(machine);
-        let mut oracle = RmpOracle::new(FRAMES);
+        let mut oracle = RmpOracle::new(cfg.frames);
 
         // Launch: two boot-image pages plus the boot VMSA frame.
         let code = vec![0xC3u8; 64];
@@ -101,8 +170,9 @@ impl World {
         }
 
         // Pool pages: validated, all permissions for every VMPL.
+        // Reserved (model) gfns are skipped: they stay hypervisor-shared.
         let mut free = Vec::new();
-        for gfn in POOL_FIRST..FRAMES {
+        for gfn in (POOL_FIRST..cfg.frames).filter(|gfn| !cfg.reserved.contains(gfn)) {
             hv.machine.rmp_assign(gfn).expect("assign pool");
             hv.machine.pvalidate(Vmpl::Vmpl0, gfn, true).expect("validate pool");
             oracle.assign(gfn).expect("oracle assign pool");
@@ -123,8 +193,18 @@ impl World {
             (0..DATA_FRAMES).map(|_| free.pop().expect("data frame")).collect();
 
         let ghcb = Ghcb::at(&hv.machine, GHCB_GFN).expect("shared GHCB");
-        let mut world =
-            World { hv, oracle, aspace, free, data_frames, ghcb, markers: BTreeMap::new() };
+        let mut world = World {
+            hv,
+            oracle,
+            aspace,
+            free,
+            data_frames,
+            ghcb,
+            markers: BTreeMap::new(),
+            frames: cfg.frames,
+            observe: cfg.observe,
+            coverage: Coverage::default(),
+        };
 
         // Stamp every prologue VMSA with its immutability marker.
         for gfn in [BOOT_VMSA_GFN].into_iter().chain(DOMAIN_VMSA_GFNS.iter().map(|&(_, gfn)| gfn)) {
@@ -149,10 +229,12 @@ impl World {
     }
 
     fn apply(&mut self, op: &AdversaryOp) -> Result<String, String> {
+        self.coverage.ops.insert(op.variant_name());
         match *op {
             AdversaryOp::GuestRead { vmpl, gfn } => {
                 let expected = self.oracle.guest_access(vmpl, gfn, Access::Read);
                 let actual = self.hv.machine.read(vmpl, gfn * PAGE, 8);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("read {actual:?}"))
             }
@@ -160,6 +242,7 @@ impl World {
                 let expected = self.oracle.guest_access(vmpl, gfn, Access::Write);
                 let pattern = [0x10u8 + vmpl.index() as u8; 8];
                 let actual = self.hv.machine.write(vmpl, gfn * PAGE, &pattern);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("write {actual:?}"))
             }
@@ -167,24 +250,28 @@ impl World {
                 let cpl = if user { Cpl::Cpl3 } else { Cpl::Cpl0 };
                 let expected = self.oracle.guest_access(vmpl, gfn, Access::Execute(cpl));
                 let actual = self.hv.machine.check_exec(vmpl, cpl, gfn * PAGE);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("exec {actual:?}"))
             }
             AdversaryOp::HvRead { gfn } => {
                 let expected = self.oracle.hv_access(gfn);
                 let actual = self.hv.machine.hv_read(gfn * PAGE, 8);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("hv-read {actual:?}"))
             }
             AdversaryOp::HvWrite { gfn } => {
                 let expected = self.oracle.hv_access(gfn);
                 let actual = self.hv.machine.hv_write(gfn * PAGE, b"hostile!");
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("hv-write {actual:?}"))
             }
             AdversaryOp::Pvalidate { vmpl, gfn, validate } => {
                 let expected = self.oracle.pvalidate(vmpl, gfn, validate);
                 let actual = self.hv.machine.pvalidate(vmpl, gfn, validate);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("pvalidate {actual:?}"))
             }
@@ -192,18 +279,21 @@ impl World {
                 let perms = VmplPerms::from_bits_truncate(perms);
                 let expected = self.oracle.rmpadjust(executing, gfn, target, perms);
                 let actual = self.hv.machine.rmpadjust(executing, gfn, target, perms);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("rmpadjust {actual:?}"))
             }
             AdversaryOp::Assign { gfn } => {
                 let expected = self.oracle.assign(gfn);
                 let actual = self.hv.machine.rmp_assign(gfn);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("assign {actual:?}"))
             }
             AdversaryOp::Reclaim { gfn } => {
                 let expected = self.oracle.reclaim(gfn);
                 let actual = self.hv.machine.rmp_reclaim(gfn);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 Ok(format!("reclaim {actual:?}"))
             }
@@ -216,12 +306,14 @@ impl World {
                     gfn,
                     u64::from(to_private),
                 );
+                self.note(&wr);
                 compare(op, &wr, &expected_wr)?;
                 if wr.is_err() {
                     return Ok(format!("psc-req {wr:?}"));
                 }
                 let gate = self.oracle.exit_gate(GHCB_GFN);
                 let actual = self.hv.vmgexit(0, false);
+                self.note(&actual);
                 match (&actual, &gate) {
                     (Err(SnpError::Halted(got)), Err(want)) if got == want => {}
                     (Ok(resp), Ok(())) => {
@@ -252,6 +344,7 @@ impl World {
             AdversaryOp::VmsaCreate { executing, gfn, target } => {
                 let expected = self.oracle.vmsa_create(executing, gfn);
                 let actual = self.hv.machine.vmsa_create(executing, gfn, 1, target, Cpl::Cpl0);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 if actual.is_ok() {
                     self.stamp_marker(gfn);
@@ -261,6 +354,7 @@ impl World {
             AdversaryOp::VmsaDestroy { executing, gfn } => {
                 let expected = self.oracle.vmsa_destroy(executing, gfn);
                 let actual = self.hv.machine.vmsa_destroy(executing, gfn);
+                self.note(&actual);
                 compare(op, &actual, &expected)?;
                 if actual.is_ok() {
                     self.markers.remove(&gfn);
@@ -276,12 +370,14 @@ impl World {
                     target.index() as u64,
                     0,
                 );
+                self.note(&wr);
                 compare(op, &wr, &expected_wr)?;
                 if wr.is_err() {
                     return Ok(format!("switch-req {wr:?}"));
                 }
                 let gate = self.oracle.exit_gate(GHCB_GFN);
                 let actual = self.hv.vmgexit(0, user_ghcb);
+                self.note(&actual);
                 // Routing policy (refusals, misrouting, scope checks) is
                 // hypervisor behaviour, deliberately outside the RMP
                 // oracle; the gate and the result line still pin halts
@@ -356,6 +452,36 @@ impl World {
         }
     }
 
+    /// Records the machine-side verdict variant for the coverage audit.
+    fn note<T>(&mut self, r: &Result<T, SnpError>) {
+        if let Err(e) = r {
+            self.coverage.verdicts.insert(e.variant_name());
+        }
+    }
+
+    /// The reference oracle twin (read-only).
+    pub fn oracle(&self) -> &RmpOracle {
+        &self.oracle
+    }
+
+    /// Op/verdict coverage recorded so far.
+    pub fn coverage(&self) -> &Coverage {
+        &self.coverage
+    }
+
+    /// Abstract mapping state of VA `slot` in the VMPL-3 address space:
+    /// `0` unmapped, `1` mapped read-only, `2` mapped writable. The
+    /// model checker folds this into its canonical state key; accessed
+    /// and dirty PTE bits are deliberately quotiented away (no access
+    /// verdict depends on them).
+    pub fn slot_state(&self, slot: u64) -> u8 {
+        match self.aspace.translate(&self.hv.machine, va(slot)) {
+            Ok((_, flags)) if flags.contains(PteFlags::WRITABLE) => 2,
+            Ok(_) => 1,
+            Err(_) => 0,
+        }
+    }
+
     /// The standing invariants, re-checked after every op.
     fn check_invariants(&self) -> Result<(), String> {
         let m = &self.hv.machine;
@@ -366,7 +492,7 @@ impl World {
                 self.oracle.halted()
             ));
         }
-        for gfn in 0..FRAMES {
+        for gfn in 0..self.frames {
             let entry = m.rmp().entry(gfn).expect("gfn in range");
             let page = self.oracle.page(gfn).expect("gfn in range");
             let kinds_match = matches!(
@@ -422,7 +548,9 @@ impl World {
     }
 
     /// End-of-sequence trace/metrics consistency checks and observation.
+    /// Requires an observing world ([`WorldConfig::observe`]).
     pub fn finish(&self) -> Result<SeqObservation, String> {
+        assert!(self.observe, "finish() needs trace/metrics observation enabled");
         let m = &self.hv.machine;
         let tracer = m.tracer();
         if tracer.dropped() != 0 {

@@ -21,15 +21,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checker;
 pub mod exec;
+pub mod model;
 pub mod ops;
 pub mod oracle;
 pub mod runner;
+pub mod witness;
 
-pub use exec::{SeqObservation, World};
+pub use checker::{explore, replay, CheckConfig, ExploreReport, ModelFailure, StateInfo};
+pub use exec::{Coverage, SeqObservation, World, WorldConfig};
+pub use model::{AbstractState, ModelConfig, PageAbs};
 pub use ops::{op_strategy, sequence_strategy, AdversaryOp, PolicyKnob};
 pub use oracle::RmpOracle;
 pub use runner::{
-    case_seed, run_fuzz, run_sequence, FuzzConfig, FuzzFailure, FuzzReport, SequenceStats,
-    SEED_LABEL,
+    case_seed, run_fuzz, run_sequence, run_sequence_with_coverage, FuzzConfig, FuzzFailure,
+    FuzzReport, SequenceStats, SEED_LABEL,
 };
+pub use witness::{generate as generate_witnesses, render as render_witnesses, render_counts};

@@ -194,6 +194,59 @@ pub enum AdversaryOp {
     },
 }
 
+impl AdversaryOp {
+    /// Every variant name, in declaration order — for coverage audits
+    /// that must break at compile time when a variant is added.
+    pub const VARIANT_NAMES: [&'static str; 20] = [
+        "GuestRead",
+        "GuestWrite",
+        "GuestExec",
+        "HvRead",
+        "HvWrite",
+        "Pvalidate",
+        "Rmpadjust",
+        "Assign",
+        "Reclaim",
+        "Psc",
+        "VmsaCreate",
+        "VmsaDestroy",
+        "SwitchReq",
+        "AutoExit",
+        "SetPolicy",
+        "Map",
+        "Unmap",
+        "Protect",
+        "ReadVirt",
+        "WriteVirt",
+    ];
+
+    /// The variant's name, payload-free (matches [`Self::VARIANT_NAMES`]).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            AdversaryOp::GuestRead { .. } => "GuestRead",
+            AdversaryOp::GuestWrite { .. } => "GuestWrite",
+            AdversaryOp::GuestExec { .. } => "GuestExec",
+            AdversaryOp::HvRead { .. } => "HvRead",
+            AdversaryOp::HvWrite { .. } => "HvWrite",
+            AdversaryOp::Pvalidate { .. } => "Pvalidate",
+            AdversaryOp::Rmpadjust { .. } => "Rmpadjust",
+            AdversaryOp::Assign { .. } => "Assign",
+            AdversaryOp::Reclaim { .. } => "Reclaim",
+            AdversaryOp::Psc { .. } => "Psc",
+            AdversaryOp::VmsaCreate { .. } => "VmsaCreate",
+            AdversaryOp::VmsaDestroy { .. } => "VmsaDestroy",
+            AdversaryOp::SwitchReq { .. } => "SwitchReq",
+            AdversaryOp::AutoExit => "AutoExit",
+            AdversaryOp::SetPolicy { .. } => "SetPolicy",
+            AdversaryOp::Map { .. } => "Map",
+            AdversaryOp::Unmap { .. } => "Unmap",
+            AdversaryOp::Protect { .. } => "Protect",
+            AdversaryOp::ReadVirt { .. } => "ReadVirt",
+            AdversaryOp::WriteVirt { .. } => "WriteVirt",
+        }
+    }
+}
+
 /// Weighted choice: each branch is drawn with probability proportional
 /// to its weight. Like [`prop::one_of`] but non-uniform, so the hot
 /// attack surfaces (accesses, `RMPADJUST`, `PVALIDATE`) dominate the

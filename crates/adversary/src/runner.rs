@@ -6,7 +6,7 @@ use veil_testkit::prop::Strategy;
 use veil_testkit::rng::{fnv1a64, splitmix64};
 use veil_testkit::TestRng;
 
-use crate::exec::World;
+use crate::exec::{Coverage, World};
 use crate::ops::{sequence_strategy, AdversaryOp};
 
 /// Property name used for seed derivation — shared with the tier-1
@@ -85,6 +85,20 @@ pub fn run_sequence(
     ops: &[AdversaryOp],
     mutation: Option<RmpMutation>,
 ) -> Result<SequenceStats, String> {
+    run_sequence_with_coverage(ops, mutation).map(|(stats, _)| stats)
+}
+
+/// [`run_sequence`], additionally returning the op/verdict [`Coverage`]
+/// the twins recorded — the fuzzer's contribution to the coverage
+/// audit.
+///
+/// # Errors
+///
+/// Same as [`run_sequence`].
+pub fn run_sequence_with_coverage(
+    ops: &[AdversaryOp],
+    mutation: Option<RmpMutation>,
+) -> Result<(SequenceStats, Coverage), String> {
     let mut cached = World::new(true, mutation);
     let mut uncached = World::new(false, mutation);
     for (i, op) in ops.iter().enumerate() {
@@ -101,7 +115,9 @@ pub fn run_sequence(
     if oa != ob {
         return Err(format!("twin observation divergence: cached {oa:?} vs uncached {ob:?}"));
     }
-    Ok(SequenceStats { ops: ops.len(), total_cycles: oa.total_cycles })
+    let mut coverage = cached.coverage().clone();
+    coverage.merge(uncached.coverage());
+    Ok((SequenceStats { ops: ops.len(), total_cycles: oa.total_cycles }, coverage))
 }
 
 /// Derives the seed for `case` of a run (the same derivation

@@ -147,7 +147,7 @@ pub struct SwitchEvent {
 }
 
 /// The hypervisor: owns the machine and runs the CVM's VCPUs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Hypervisor {
     /// The machine being virtualized. Public: guest-side layers (VeilMon,
     /// kernel) operate on it through their own privilege-checked calls.

@@ -108,6 +108,33 @@ pub enum SnpError {
     Halted(HaltReason),
 }
 
+impl SnpError {
+    /// Every variant name, in declaration order — for coverage audits
+    /// that must break at compile time when a variant is added.
+    pub const VARIANT_NAMES: [&'static str; 7] = [
+        "Npf",
+        "InsufficientVmpl",
+        "PermEscalation",
+        "ValidationMismatch",
+        "OutOfRange",
+        "NotAVmsa",
+        "Halted",
+    ];
+
+    /// The variant's name, payload-free (matches [`Self::VARIANT_NAMES`]).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            SnpError::Npf(_) => "Npf",
+            SnpError::InsufficientVmpl { .. } => "InsufficientVmpl",
+            SnpError::PermEscalation => "PermEscalation",
+            SnpError::ValidationMismatch { .. } => "ValidationMismatch",
+            SnpError::OutOfRange { .. } => "OutOfRange",
+            SnpError::NotAVmsa { .. } => "NotAVmsa",
+            SnpError::Halted(_) => "Halted",
+        }
+    }
+}
+
 impl fmt::Display for SnpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -58,6 +58,24 @@ impl RmpEntry {
     pub fn perms(&self, vmpl: Vmpl) -> VmplPerms {
         self.perms[vmpl.index()]
     }
+
+    /// Packs the entry into a stable canonical integer: bits 0–1 the
+    /// page state, bit 2 the VMSA attribute, bits 4+4·v..4+4·v+3 the
+    /// permission nibble of VMPL `v`. Model checkers use this as the
+    /// per-page component of a canonical state key; the encoding is
+    /// injective over all reachable entries.
+    pub fn packed(&self) -> u32 {
+        let mut v = match self.state {
+            PageState::Shared => 0u32,
+            PageState::AssignedUnvalidated => 1,
+            PageState::Validated => 2,
+        };
+        v |= (self.vmsa as u32) << 2;
+        for (i, p) in self.perms.iter().enumerate() {
+            v |= (p.bits() as u32) << (4 + 4 * i);
+        }
+        v
+    }
 }
 
 /// A deliberately seeded semantics bug, used by `veil-adversary` to

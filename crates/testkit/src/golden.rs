@@ -1,0 +1,100 @@
+//! Golden-file plumbing: compare a rendered artifact against a
+//! checked-in file, with a `VEIL_REGEN_GOLDEN=1` regeneration flow.
+//!
+//! Tests previously inlined goldens as string constants; artifacts the
+//! size of the model checker's witness matrix live in files instead.
+//! Both the tier-1 tests and the `modelcheck` binary route through
+//! [`check`], so CI and local regeneration behave identically.
+
+use std::fs;
+use std::path::Path;
+
+/// Environment variable that switches checks into regeneration mode.
+pub const REGEN_ENV: &str = "VEIL_REGEN_GOLDEN";
+
+/// Whether the caller asked to (re)write goldens instead of diffing.
+pub fn regen_requested() -> bool {
+    std::env::var_os(REGEN_ENV).is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Diffs `actual` against the golden at `path`; in regeneration mode
+/// (or when `force_regen` is set) rewrites the file instead.
+///
+/// # Errors
+///
+/// Returns a description naming the first differing line (with a regen
+/// hint), or the I/O failure.
+pub fn check(label: &str, path: &Path, actual: &str, force_regen: bool) -> Result<(), String> {
+    if force_regen || regen_requested() {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).map_err(|e| format!("{label}: mkdir {dir:?}: {e}"))?;
+        }
+        fs::write(path, actual).map_err(|e| format!("{label}: write {path:?}: {e}"))?;
+        return Ok(());
+    }
+    let want = fs::read_to_string(path)
+        .map_err(|e| format!("{label}: missing golden {path:?} ({e}); regen with {REGEN_ENV}=1"))?;
+    if want == actual {
+        return Ok(());
+    }
+    let (line, got, exp) = first_diff(actual, &want);
+    Err(format!(
+        "{label}: golden mismatch at {path:?} line {line}:\n  golden: {exp}\n  actual: {got}\n\
+         (regen with {REGEN_ENV}=1 after reviewing the diff)"
+    ))
+}
+
+/// [`check`] that panics on mismatch — for `#[test]` callers.
+///
+/// # Panics
+///
+/// Panics with the diff description.
+pub fn assert_matches(label: &str, path: &Path, actual: &str) {
+    if let Err(e) = check(label, path, actual, false) {
+        panic!("{e}");
+    }
+}
+
+fn first_diff(actual: &str, want: &str) -> (usize, String, String) {
+    let (mut a, mut w) = (actual.lines(), want.lines());
+    for line in 1.. {
+        match (a.next(), w.next()) {
+            (None, None) => break,
+            (got, exp) if got != exp => {
+                return (line, fmt_line(got), fmt_line(exp));
+            }
+            _ => {}
+        }
+    }
+    (0, String::new(), String::new())
+}
+
+fn fmt_line(l: Option<&str>) -> String {
+    match l {
+        Some(s) => format!("`{s}`"),
+        None => "<end of file>".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_roundtrips_through_regen() {
+        let dir = std::env::temp_dir().join("veil-golden-test");
+        let path = dir.join("sample.txt");
+        check("sample", &path, "one\ntwo\n", true).unwrap();
+        assert!(check("sample", &path, "one\ntwo\n", false).is_ok());
+        let err = check("sample", &path, "one\nTWO\n", false).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains(REGEN_ENV));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_golden_names_the_regen_flow() {
+        let err = check("nope", Path::new("/nonexistent/golden.txt"), "x", false).unwrap_err();
+        assert!(err.contains(REGEN_ENV));
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod bench;
 pub mod fmt;
+pub mod golden;
 pub mod prop;
 pub mod rng;
 pub mod trace;
