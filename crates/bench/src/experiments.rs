@@ -25,8 +25,17 @@ use veil_workloads::{
 /// Standard machine geometry for experiments.
 pub const BENCH_FRAMES: u64 = 8192;
 
+// The paper's figures measure the serial Fig. 3 gate protocol, so every
+// paper-reproduction experiment pins batching off; the batched gate path
+// is evaluated separately (`hotpath` bench, `batch_differential` tests).
 fn veil_cvm() -> Cvm {
-    CvmBuilder::new().frames(BENCH_FRAMES).vcpus(1).log_frames(1024).build().expect("veil boot")
+    CvmBuilder::new()
+        .frames(BENCH_FRAMES)
+        .vcpus(1)
+        .log_frames(1024)
+        .batch(false)
+        .build()
+        .expect("veil boot")
 }
 
 fn native_cvm() -> NativeCvm {
@@ -76,7 +85,7 @@ impl BootTime {
 /// >70% in `RMPADJUST`.
 pub fn boot_time(frames: u64) -> BootTime {
     let native = CvmBuilder::new().frames(frames).vcpus(4).build_native().expect("native");
-    let veil = CvmBuilder::new().frames(frames).vcpus(4).build().expect("veil");
+    let veil = CvmBuilder::new().frames(frames).vcpus(4).batch(false).build().expect("veil");
     let rmp_cycles = veil.hv.machine.cycles().of(CostCategory::Rmpadjust);
     let delta = veil.veil_boot_cycles.saturating_sub(native.native_boot_cycles);
     // Per-frame delta × 2 GB worth of frames.
@@ -605,7 +614,8 @@ impl ModuleCost {
 /// installed) `repeats` times under KCI and natively, averaging cycles.
 pub fn cs1(repeats: u64) -> ModuleCost {
     let measure = |kci: bool| -> (u64, u64) {
-        let mut cvm = CvmBuilder::new().frames(BENCH_FRAMES).kci(kci).build().expect("boot");
+        let mut cvm =
+            CvmBuilder::new().frames(BENCH_FRAMES).kci(kci).batch(false).build().expect("boot");
         // 24 KiB installed size; ~4.7 kB serialized image like the paper's.
         let image =
             ModuleImage::build_signed("cs1_module", 6 * 4096 - 512, &veil_core::cvm::VENDOR_KEY);

@@ -14,7 +14,7 @@ use crate::service::{KernelHandoff, ServiceDispatch};
 use veil_hv::Hypervisor;
 use veil_os::error::OsError;
 use veil_os::kernel::{Kernel, KernelConfig, KernelCtx, KernelSys};
-use veil_os::monitor::NativeMonitor;
+use veil_os::monitor::{MonitorChannel, NativeMonitor};
 use veil_os::process::Pid;
 use veil_snp::machine::{Machine, MachineConfig};
 use veil_snp::mem::PAGE_SIZE;
@@ -35,6 +35,7 @@ pub struct CvmBuilder {
     kci: bool,
     trace: Option<bool>,
     metrics: Option<bool>,
+    batch: Option<bool>,
 }
 
 impl Default for CvmBuilder {
@@ -57,6 +58,7 @@ impl CvmBuilder {
             kci: true,
             trace: None,
             metrics: None,
+            batch: None,
         }
     }
 
@@ -111,6 +113,20 @@ impl CvmBuilder {
         self.metrics.unwrap_or_else(veil_snp::metrics::env_enabled)
     }
 
+    /// Enables/disables the batched gate path (per-VCPU request rings +
+    /// doorbell drains; see `veil_core::ring`). Defaults to *on*; when
+    /// not set explicitly the `VEIL_NO_BATCH` environment variable turns
+    /// it off (any value other than `0`), keeping the serial Fig. 3
+    /// protocol as a differential twin.
+    pub fn batch(mut self, enabled: bool) -> Self {
+        self.batch = Some(enabled);
+        self
+    }
+
+    fn batch_enabled(&self) -> bool {
+        self.batch.unwrap_or_else(|| std::env::var_os("VEIL_NO_BATCH").is_none_or(|v| v == *"0"))
+    }
+
     fn layout_config(&self) -> LayoutConfig {
         LayoutConfig {
             frames: self.frames,
@@ -150,6 +166,7 @@ impl CvmBuilder {
         let veil_boot_cycles = hv.machine.cycles().total() - boot_start;
 
         let mut gate = VeilGate::new(monitor, services);
+        gate.set_batching(self.batch_enabled());
         let kconfig = KernelConfig {
             pool_start: layout.kernel_pool.start,
             pool_end: layout.kernel_pool.end,
@@ -283,6 +300,20 @@ impl<S: ServiceDispatch> GenericCvm<S> {
     /// A kernel context for direct kernel calls.
     pub fn kctx(&mut self) -> (&mut Kernel, KernelCtx<'_>) {
         (&mut self.kernel, KernelCtx { hv: &mut self.hv, gate: &mut self.gate, vcpu: 0 })
+    }
+
+    /// Drains any deferred gate requests on every VCPU. A no-op when the
+    /// batched gate path is off or nothing is pending; call it before
+    /// comparing final states across batched/serial twins.
+    ///
+    /// # Errors
+    ///
+    /// Any switch or machine error during the drain.
+    pub fn flush_gate(&mut self) -> Result<(), OsError> {
+        for v in 0..self.vcpus {
+            self.gate.flush(&mut self.hv, v)?;
+        }
+        Ok(())
     }
 
     /// SHA-256 digest over every event recorded since tracing was enabled

@@ -14,16 +14,39 @@
 //!
 //! Architectural delegations (`PVALIDATE`, VCPU boot) terminate in
 //! VeilMon (`Dom_MON`); service requests terminate in `Dom_SER`.
+//!
+//! # Batched gate path
+//!
+//! With batching enabled, fire-and-forget requests queue in the per-VCPU
+//! [`GateRing`] via [`MonitorChannel::request_deferred`] instead of
+//! switching immediately. One *doorbell* exit then relays a single domain
+//! switch under which the trusted side drains every queued slot
+//! ([`MonitorChannel::flush`]); a synchronous request with a same-target
+//! batch pending drains the ring under its own switch pair, so the
+//! doorbell rides for free. A synchronous request with an *empty* ring
+//! takes the exact serial protocol above — event-for-event and
+//! cycle-for-cycle — which is what makes the serial twin a meaningful
+//! differential baseline.
 
 use crate::idcb::Idcb;
 use crate::monitor::Monitor;
+use crate::ring::{GateRing, RING_SLOTS};
 use crate::service::ServiceDispatch;
+use std::collections::BTreeMap;
 use veil_hv::{HvResponse, Hypervisor};
 use veil_os::error::OsError;
 use veil_os::monitor::{MonRequest, MonResponse, MonitorChannel};
 use veil_snp::cost::CostCategory;
 use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::perms::Vmpl;
+
+/// Requests queued behind one future doorbell. Batches stay homogeneous
+/// in target domain: a mixed-target enqueue drains the old batch first.
+#[derive(Debug)]
+struct PendingBatch {
+    target: Vmpl,
+    reqs: Vec<MonRequest>,
+}
 
 /// The gate: owns VeilMon and the registered service bundle.
 #[derive(Debug)]
@@ -33,18 +56,59 @@ pub struct VeilGate<S> {
     /// The protected services (dispatched in `Dom_SER`).
     pub services: S,
     seq: u32,
+    batch_enabled: bool,
+    pending: BTreeMap<u32, PendingBatch>,
+    requests: u64,
+    deferred_errors: u64,
 }
 
 impl<S: ServiceDispatch> VeilGate<S> {
     /// Builds the gate around an initialized monitor and service bundle.
+    /// Batching starts disabled (the serial Fig. 3 protocol).
     pub fn new(monitor: Monitor, services: S) -> Self {
-        VeilGate { monitor, services, seq: 0 }
+        VeilGate {
+            monitor,
+            services,
+            seq: 0,
+            batch_enabled: false,
+            pending: BTreeMap::new(),
+            requests: 0,
+            deferred_errors: 0,
+        }
+    }
+
+    /// Enables or disables the batched gate path.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batch_enabled = on;
+    }
+
+    /// Whether the batched gate path is enabled.
+    pub fn batching(&self) -> bool {
+        self.batch_enabled
+    }
+
+    /// Total requests accepted (synchronous + deferred).
+    pub fn gate_requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Deferred requests whose dispatch failed after their response had
+    /// already been given up (fire-and-forget error sink).
+    pub fn deferred_errors(&self) -> u64 {
+        self.deferred_errors
+    }
+
+    /// Queued-but-undrained requests for a VCPU.
+    pub fn pending_depth(&self, vcpu: u32) -> u32 {
+        self.pending.get(&vcpu).map_or(0, |b| b.reqs.len() as u32)
     }
 
     /// Which trusted domain terminates a request.
     fn target_vmpl(req: &MonRequest) -> Vmpl {
         match req {
-            MonRequest::Pvalidate { .. } | MonRequest::CreateVcpu { .. } => Vmpl::Vmpl0,
+            MonRequest::Pvalidate { .. }
+            | MonRequest::PvalidateBatch { .. }
+            | MonRequest::CreateVcpu { .. } => Vmpl::Vmpl0,
             _ => Vmpl::Vmpl1,
         }
     }
@@ -115,6 +179,15 @@ impl<S: ServiceDispatch> VeilGate<S> {
                 self.monitor.pvalidate_delegate(hv, *gfn, *validate)?;
                 Ok(MonResponse::Ok)
             }
+            MonRequest::PvalidateBatch { gfns, validate } => {
+                // In order, stop at the first refused frame — matching the
+                // hypervisor's PSC-batch semantics so both halves of an
+                // accept-pages batch fail at the same boundary.
+                for gfn in gfns {
+                    self.monitor.pvalidate_delegate(hv, *gfn, *validate)?;
+                }
+                Ok(MonResponse::Ok)
+            }
             MonRequest::CreateVcpu { vcpu_id, rip, rsp, cr3 } => {
                 let gfn = self.monitor.create_vcpu_delegate(hv, *vcpu_id, *rip, *rsp, *cr3)?;
                 Ok(MonResponse::Value(gfn))
@@ -152,19 +225,177 @@ impl<S: ServiceDispatch> MonitorChannel for VeilGate<S> {
         res
     }
 
+    fn request_deferred(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        req: MonRequest,
+    ) -> Result<(), OsError> {
+        if !self.batch_enabled {
+            return self.request(hv, vcpu, req).map(|_| ());
+        }
+        self.requests += 1;
+        let target = Self::target_vmpl(&req);
+        // Keep batches homogeneous: a target change drains the old batch.
+        if self.pending.get(&vcpu).is_some_and(|b| !b.reqs.is_empty() && b.target != target) {
+            self.flush(hv, vcpu)?;
+        }
+        let ring_gfn = self
+            .monitor
+            .layout
+            .gate_ring_gfn(vcpu)
+            .ok_or_else(|| OsError::Config(format!("no gate ring for vcpu {vcpu}")))?;
+        let ring = GateRing::at(ring_gfn);
+        if self.pending.get(&vcpu).is_none_or(|b| b.reqs.is_empty()) {
+            ring.reset(&mut hv.machine, Vmpl::Vmpl3)?;
+        }
+        // Same compact wire stub as the IDCB path; the copy cost below is
+        // charged from the full wire length.
+        let mut wire = [0u8; 16];
+        wire[0] = req.kind_code();
+        wire[8..].copy_from_slice(&(req.wire_len() as u64).to_le_bytes());
+        ring.push(&mut hv.machine, Vmpl::Vmpl3, req.kind_code(), &wire)?;
+        let copy_cost = hv.machine.cost().copy(req.wire_len());
+        hv.machine.charge(CostCategory::KernelService, copy_cost);
+        let batch =
+            self.pending.entry(vcpu).or_insert_with(|| PendingBatch { target, reqs: Vec::new() });
+        batch.target = target;
+        batch.reqs.push(req);
+        if batch.reqs.len() as u32 == RING_SLOTS {
+            self.flush(hv, vcpu)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, hv: &mut Hypervisor, vcpu: u32) -> Result<(), OsError> {
+        let Some(batch) = self.pending.remove(&vcpu) else { return Ok(()) };
+        if batch.reqs.is_empty() {
+            return Ok(());
+        }
+        let target = batch.target;
+        hv.machine.span_enter("gate.batch");
+        let res = match self.doorbell(hv, vcpu, target, batch.reqs.len() as u32) {
+            Ok(()) => {
+                let drained = self.drain_entries(hv, vcpu, &batch);
+                // The switch back must happen even when the drain tripped.
+                let back = self.switch(hv, vcpu, target, Vmpl::Vmpl3);
+                drained.and(back)
+            }
+            Err(e) => {
+                // The switch never happened; the whole batch is lost.
+                self.deferred_errors += batch.reqs.len() as u64;
+                Err(e)
+            }
+        };
+        hv.machine.span_exit("gate.batch");
+        res
+    }
+
     fn kernel_vmpl(&self) -> Vmpl {
         Vmpl::Vmpl3
     }
 }
 
 impl<S: ServiceDispatch> VeilGate<S> {
+    /// Rings the doorbell: one hypervisor-relayed switch that also
+    /// announces `depth` queued ring entries (advisory — the trusted side
+    /// re-reads and validates the ring itself).
+    fn doorbell(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        target: Vmpl,
+        depth: u32,
+    ) -> Result<(), OsError> {
+        let ghcb_gfn = hv
+            .machine
+            .ghcb_msr(vcpu)
+            .ok_or_else(|| OsError::Config("no GHCB registered for vcpu".into()))?;
+        let ghcb = Ghcb::at(&hv.machine, ghcb_gfn)?;
+        ghcb.write_request(
+            &mut hv.machine,
+            Vmpl::Vmpl3,
+            GhcbExit::Doorbell,
+            target.index() as u64,
+            depth as u64,
+        )?;
+        match hv.vmgexit(vcpu, false)? {
+            HvResponse::Switched { vmpl, .. } if vmpl == target => Ok(()),
+            HvResponse::Refused { reason } => Err(OsError::MonitorRefused(format!(
+                "hypervisor refused doorbell to {target}: {reason}"
+            ))),
+            other => Err(OsError::MonitorRefused(format!("unexpected hv response {other:?}"))),
+        }
+    }
+
+    /// Trusted-side drain loop, after the doorbell switch landed. The
+    /// ring is untrusted input: count and slot headers are re-validated,
+    /// and anything inconsistent voids the affected entries into
+    /// `deferred_errors` rather than crashing the trusted side.
+    fn drain_entries(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu: u32,
+        batch: &PendingBatch,
+    ) -> Result<(), OsError> {
+        let target = batch.target;
+        let ring_gfn = self
+            .monitor
+            .layout
+            .gate_ring_gfn(vcpu)
+            .ok_or_else(|| OsError::Config(format!("no gate ring for vcpu {vcpu}")))?;
+        let ring = GateRing::at(ring_gfn);
+        match ring.depth(&hv.machine, target) {
+            Ok(depth) if depth as usize == batch.reqs.len() => {
+                for (idx, req) in batch.reqs.iter().enumerate() {
+                    match ring.read_slot(&hv.machine, target, idx as u32) {
+                        Ok((kind, _payload)) if kind == req.kind_code() => {
+                            let read_cost = hv.machine.cost().copy(req.wire_len());
+                            hv.machine.charge(CostCategory::Other, read_cost);
+                            if self.dispatch(hv, vcpu, req).is_err() {
+                                self.deferred_errors += 1;
+                            }
+                        }
+                        _ => {
+                            // Corrupt slot: void this entry and the rest.
+                            self.deferred_errors += (batch.reqs.len() - idx) as u64;
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Hostile or corrupt occupancy: void the whole batch.
+                self.deferred_errors += batch.reqs.len() as u64;
+            }
+        }
+        // Ack: the trusted side leaves the ring empty.
+        ring.reset(&mut hv.machine, target)?;
+        Ok(())
+    }
+
     fn request_inner(
         &mut self,
         hv: &mut Hypervisor,
         vcpu: u32,
         req: MonRequest,
     ) -> Result<MonResponse, OsError> {
+        self.requests += 1;
         let target = Self::target_vmpl(&req);
+        // A same-target pending batch rides under this request's switch
+        // pair; a mixed-target batch drains on its own first. With an
+        // empty ring this is the exact serial protocol.
+        let piggyback = match self.pending.get(&vcpu) {
+            Some(b) if !b.reqs.is_empty() => {
+                if b.target == target {
+                    true
+                } else {
+                    self.flush(hv, vcpu)?;
+                    false
+                }
+            }
+            _ => false,
+        };
         self.seq = self.seq.wrapping_add(1);
         let seq = self.seq;
 
@@ -189,8 +420,23 @@ impl<S: ServiceDispatch> VeilGate<S> {
         let copy_cost = hv.machine.cost().copy(req.wire_len());
         hv.machine.charge(CostCategory::KernelService, copy_cost);
 
-        // ②–⑤ Request path switch.
-        self.switch(hv, vcpu, Vmpl::Vmpl3, target)?;
+        // ②–⑤ Request path switch. With a same-target batch pending, the
+        // switch out is a doorbell and the ring drains before dispatch.
+        if piggyback {
+            let batch = self.pending.remove(&vcpu).expect("pending batch checked above");
+            hv.machine.span_enter("gate.batch");
+            let res = match self.doorbell(hv, vcpu, target, batch.reqs.len() as u32) {
+                Ok(()) => self.drain_entries(hv, vcpu, &batch),
+                Err(e) => {
+                    self.deferred_errors += batch.reqs.len() as u64;
+                    Err(e)
+                }
+            };
+            hv.machine.span_exit("gate.batch");
+            res?;
+        } else {
+            self.switch(hv, vcpu, Vmpl::Vmpl3, target)?;
+        }
 
         // ⑥ Trusted side reads the IDCB (charged) and dispatches.
         let (_seq, _bytes) = idcb.read_message(&hv.machine, target)?;
@@ -344,6 +590,143 @@ mod tests {
         }
         // The misrouted request never dispatched: the page stays unvalidated.
         assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(fresh), b"x").is_err());
+    }
+
+    #[test]
+    fn deferred_requests_drain_under_one_switch_pair() {
+        let (mut hv, mut gate) = booted_gate();
+        gate.set_batching(true);
+        let base = gate.monitor.layout.shared.start + 4;
+        for i in 0..3 {
+            hv.machine.rmp_assign(base + i).unwrap();
+        }
+        let before = hv.stats().domain_switches;
+        for i in 0..3 {
+            gate.request_deferred(
+                &mut hv,
+                0,
+                MonRequest::Pvalidate { gfn: base + i, validate: true },
+            )
+            .unwrap();
+        }
+        // Nothing switched yet; the requests sit in the ring.
+        assert_eq!(hv.stats().domain_switches, before);
+        assert_eq!(gate.pending_depth(0), 3);
+        assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(base), b"x").is_err());
+        gate.flush(&mut hv, 0).unwrap();
+        // One doorbell switch pair drained all three.
+        assert_eq!(hv.stats().domain_switches, before + 2);
+        assert_eq!(hv.stats().doorbells, 1);
+        assert_eq!(gate.pending_depth(0), 0);
+        assert_eq!(gate.deferred_errors(), 0);
+        for i in 0..3 {
+            assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(base + i), b"ok").is_ok());
+        }
+        assert_eq!(hv.vcpu(0).unwrap().current_vmpl, Vmpl::Vmpl3);
+    }
+
+    #[test]
+    fn sync_request_piggybacks_same_target_batch() {
+        let (mut hv, mut gate) = booted_gate();
+        gate.set_batching(true);
+        let base = gate.monitor.layout.shared.start + 4;
+        for i in 0..3 {
+            hv.machine.rmp_assign(base + i).unwrap();
+        }
+        let before = hv.stats().domain_switches;
+        for i in 0..2 {
+            gate.request_deferred(
+                &mut hv,
+                0,
+                MonRequest::Pvalidate { gfn: base + i, validate: true },
+            )
+            .unwrap();
+        }
+        let resp = gate
+            .request(&mut hv, 0, MonRequest::Pvalidate { gfn: base + 2, validate: true })
+            .unwrap();
+        assert_eq!(resp, MonResponse::Ok);
+        // The deferred pair rode under the sync request's switch pair.
+        assert_eq!(hv.stats().domain_switches, before + 2);
+        assert_eq!(hv.stats().doorbells, 1);
+        for i in 0..3 {
+            assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(base + i), b"ok").is_ok());
+        }
+        assert_eq!(gate.gate_requests(), 3);
+    }
+
+    #[test]
+    fn mixed_target_enqueue_drains_old_batch_first() {
+        let (mut hv, mut gate) = booted_gate();
+        gate.set_batching(true);
+        let fresh = gate.monitor.layout.shared.start + 4;
+        hv.machine.rmp_assign(fresh).unwrap();
+        let before = hv.stats().domain_switches;
+        gate.request_deferred(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true })
+            .unwrap();
+        // LogAppend targets Dom_SER: the Dom_MON batch drains first.
+        gate.request_deferred(&mut hv, 0, MonRequest::LogAppend { record: vec![1] }).unwrap();
+        assert_eq!(hv.stats().domain_switches, before + 2);
+        assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(fresh), b"ok").is_ok());
+        assert_eq!(gate.pending_depth(0), 1);
+        // NoServices refuses LogAppend at drain time: the response was
+        // given up, so the failure lands in the error sink.
+        gate.flush(&mut hv, 0).unwrap();
+        assert_eq!(gate.deferred_errors(), 1);
+        assert_eq!(hv.vcpu(0).unwrap().current_vmpl, Vmpl::Vmpl3);
+    }
+
+    #[test]
+    fn full_ring_auto_drains() {
+        let (mut hv, mut gate) = booted_gate();
+        gate.set_batching(true);
+        let base = gate.monitor.layout.shared.start + 4;
+        let before = hv.stats().domain_switches;
+        for i in 0..crate::ring::RING_SLOTS as u64 {
+            hv.machine.rmp_assign(base + i).unwrap();
+            gate.request_deferred(
+                &mut hv,
+                0,
+                MonRequest::Pvalidate { gfn: base + i, validate: true },
+            )
+            .unwrap();
+        }
+        // The ring filled and drained itself.
+        assert_eq!(gate.pending_depth(0), 0);
+        assert_eq!(hv.stats().domain_switches, before + 2);
+        assert_eq!(gate.deferred_errors(), 0);
+    }
+
+    #[test]
+    fn batching_disabled_defer_falls_back_to_sync() {
+        let (mut hv, mut gate) = booted_gate();
+        assert!(!gate.batching());
+        let fresh = gate.monitor.layout.shared.start + 4;
+        hv.machine.rmp_assign(fresh).unwrap();
+        let before = hv.stats().domain_switches;
+        gate.request_deferred(&mut hv, 0, MonRequest::Pvalidate { gfn: fresh, validate: true })
+            .unwrap();
+        assert_eq!(hv.stats().domain_switches, before + 2);
+        assert_eq!(hv.stats().doorbells, 0);
+        assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(fresh), b"ok").is_ok());
+    }
+
+    #[test]
+    fn pvalidate_batch_request_validates_all_frames() {
+        let (mut hv, mut gate) = booted_gate();
+        let base = gate.monitor.layout.shared.start + 4;
+        for i in 0..4 {
+            hv.machine.rmp_assign(base + i).unwrap();
+        }
+        let before = hv.stats().domain_switches;
+        let gfns: Vec<u64> = (0..4).map(|i| base + i).collect();
+        let resp =
+            gate.request(&mut hv, 0, MonRequest::PvalidateBatch { gfns, validate: true }).unwrap();
+        assert_eq!(resp, MonResponse::Ok);
+        assert_eq!(hv.stats().domain_switches, before + 2);
+        for i in 0..4 {
+            assert!(hv.machine.write(Vmpl::Vmpl3, gpa_of(base + i), b"ok").is_ok());
+        }
     }
 
     #[test]

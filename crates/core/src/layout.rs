@@ -28,6 +28,11 @@ pub struct Layout {
     /// Per-VCPU OS↔monitor IDCBs — allocated in the *kernel's* memory per
     /// §5.2 ("IDCBs are allocated in the less privileged domain's memory").
     pub idcb: Range<u64>,
+    /// Per-VCPU gate request rings for the batched gate path: queued
+    /// requests accumulate here and a single doorbell switch drains them.
+    /// Allocated next to the IDCBs, in the kernel's memory, for the same
+    /// §5.2 reason.
+    pub gate_ring: Range<u64>,
     /// Simulated kernel text.
     pub kernel_text: Range<u64>,
     /// Simulated kernel static data.
@@ -98,6 +103,7 @@ impl Layout {
         let ser_pool = take(config.ser_pool_frames);
         let log_storage = take(config.log_frames);
         let idcb = take(config.vcpus as u64);
+        let gate_ring = take(config.vcpus as u64);
         let kernel_text = take(KERNEL_TEXT_FRAMES);
         let kernel_data = take(KERNEL_DATA_FRAMES);
         assert!(
@@ -117,6 +123,7 @@ impl Layout {
             ser_pool,
             log_storage,
             idcb,
+            gate_ring,
             kernel_text,
             kernel_data,
             kernel_pool,
@@ -133,6 +140,12 @@ impl Layout {
     pub fn idcb_gfn(&self, vcpu: u32) -> Option<u64> {
         let g = self.idcb.start + vcpu as u64;
         (g < self.idcb.end).then_some(g)
+    }
+
+    /// The gate-ring frame for a VCPU.
+    pub fn gate_ring_gfn(&self, vcpu: u32) -> Option<u64> {
+        let g = self.gate_ring.start + vcpu as u64;
+        (g < self.gate_ring.end).then_some(g)
     }
 
     /// GHCB frames handed to the kernel: one per VCPU plus two spares
@@ -165,6 +178,7 @@ mod tests {
             l.ser_pool.clone(),
             l.log_storage.clone(),
             l.idcb.clone(),
+            l.gate_ring.clone(),
             l.kernel_text.clone(),
             l.kernel_data.clone(),
             l.kernel_pool.clone(),
@@ -182,6 +196,8 @@ mod tests {
         assert!(l.idcb_gfn(0).is_some());
         assert!(l.idcb_gfn(3).is_some());
         assert_eq!(l.idcb_gfn(4), None);
+        assert_eq!(l.gate_ring_gfn(0), Some(l.gate_ring.start));
+        assert_eq!(l.gate_ring_gfn(4), None);
     }
 
     #[test]

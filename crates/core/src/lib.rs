@@ -12,6 +12,8 @@
 //!   VCPU replication (§5.2), privileged-functionality delegation (§5.3),
 //!   protected-region tracking and untrusted-pointer sanitization (§8.1).
 //! * [`idcb`] — inter-domain communication blocks (§5.2).
+//! * [`ring`] — per-VCPU gate request rings for the batched gate path:
+//!   queued requests drained under one doorbell-relayed domain switch.
 //! * [`gate`] — the kernel-facing [`veil_os::monitor::MonitorChannel`]
 //!   implementation: IDCB transcription + hypervisor-relayed domain
 //!   switch + dispatch + switch back.
@@ -45,6 +47,7 @@ pub mod idcb;
 pub mod layout;
 pub mod monitor;
 pub mod remote;
+pub mod ring;
 pub mod service;
 
 pub use cvm::{CvmBuilder, GenericCvm};

@@ -104,6 +104,9 @@ impl Monitor {
         // IDCBs: kernel memory — both VMPL-1 (read requests) and VMPL-3.
         grant(hv, &mut stats, layout.idcb.clone(), Vmpl::Vmpl1, VmplPerms::rw())?;
         grant(hv, &mut stats, layout.idcb.clone(), Vmpl::Vmpl3, VmplPerms::rw())?;
+        // Gate rings: same placement and access rule as the IDCBs.
+        grant(hv, &mut stats, layout.gate_ring.clone(), Vmpl::Vmpl1, VmplPerms::rw())?;
+        grant(hv, &mut stats, layout.gate_ring.clone(), Vmpl::Vmpl3, VmplPerms::rw())?;
         // Kernel regions: fully VMPL-3 accessible (W⊕X comes later via
         // KCI). Dom_SER is also granted access — protected services must
         // read staged requests from and install results into kernel

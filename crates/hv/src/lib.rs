@@ -27,8 +27,13 @@ use veil_snp::cost::CostCategory;
 use veil_snp::fault::{HaltReason, SnpError};
 use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::machine::Machine;
+use veil_snp::mem::PAGE_SIZE;
 use veil_snp::perms::Vmpl;
 use veil_trace::{exit_code, Event, VMPL_UNKNOWN};
+
+/// Maximum entries one PSC-batch list page can carry (packed `u64`s:
+/// bit 63 = to-private, low bits = gfn).
+pub const PSC_BATCH_MAX: u64 = (PAGE_SIZE / 8) as u64;
 
 /// Per-VCPU hypervisor state: the per-domain VMSA registry.
 #[derive(Debug, Clone)]
@@ -126,6 +131,8 @@ pub struct HvStats {
     pub page_state_changes: u64,
     /// I/O exits serviced.
     pub io_exits: u64,
+    /// Doorbell rings relayed (batched gate path).
+    pub doorbells: u64,
 }
 
 /// One recorded VCPU transition, for protocol-sequence assertions
@@ -254,6 +261,7 @@ impl Hypervisor {
             automatic_exits: c.automatic_exits,
             page_state_changes: c.page_state_changes,
             io_exits: c.io_exits,
+            doorbells: c.doorbells,
         }
     }
 
@@ -400,6 +408,29 @@ impl Hypervisor {
                 };
                 self.vmenter(vcpu_id, resp)
             }
+            GhcbExit::Doorbell => {
+                // The doorbell is a domain switch with intent attached:
+                // the target will drain a ring of `info2` queued requests
+                // under this single relayed switch. The hypervisor only
+                // relays — ring contents are validated guest-side.
+                let resp = match Vmpl::from_index(info1 as usize) {
+                    Some(target) => {
+                        self.machine.trace_event(Event::Doorbell {
+                            vcpu: vcpu_id,
+                            target: target.index() as u8,
+                            depth: info2 as u32,
+                        });
+                        self.relay_domain_switch(vcpu_id, target, from_user_ghcb)
+                    }
+                    None => HvResponse::Refused { reason: "bad target vmpl" },
+                };
+                self.vmenter(vcpu_id, resp)
+            }
+            GhcbExit::PscBatch => {
+                self.charge_exit_roundtrip(CostCategory::Other);
+                let resp = self.apply_psc_batch(&ghcb, info1, info2);
+                self.vmenter(vcpu_id, resp)
+            }
             GhcbExit::Io | GhcbExit::Msr => {
                 self.charge_exit_roundtrip(CostCategory::KernelService);
                 ghcb.write_response(&mut self.machine, 0);
@@ -488,6 +519,52 @@ impl Hypervisor {
     fn charge_exit_roundtrip(&mut self, category: CostCategory) {
         let cost = self.machine.cost().domain_switch();
         self.machine.charge(category, cost);
+    }
+
+    /// Applies a batched page-state change: `count` packed entries read
+    /// from the shared list page at `list_gfn`, applied in order, stopping
+    /// at the first failure. The GHCB scratch receives the number of
+    /// entries applied; one cache flush retires the whole sweep instead of
+    /// one per page as on the serial path.
+    fn apply_psc_batch(&mut self, ghcb: &Ghcb, list_gfn: u64, count: u64) -> HvResponse {
+        if count > PSC_BATCH_MAX {
+            ghcb.write_response(&mut self.machine, 0);
+            return HvResponse::Refused { reason: "psc batch exceeds one list page" };
+        }
+        let raw = match self.machine.hv_read(Machine::gpa(list_gfn), count as usize * 8) {
+            Ok(r) => r,
+            Err(_) => {
+                ghcb.write_response(&mut self.machine, 0);
+                return HvResponse::Refused { reason: "psc list page not hypervisor-readable" };
+            }
+        };
+        let mut processed = 0u64;
+        let mut failed = false;
+        for chunk in raw.chunks_exact(8) {
+            let entry = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let gfn = entry & !(1u64 << 63);
+            let to_private = entry >> 63 == 1;
+            let outcome = if to_private {
+                self.machine.rmp_assign(gfn)
+            } else {
+                self.machine.rmp_reclaim(gfn)
+            };
+            if outcome.is_err() {
+                failed = true;
+                break;
+            }
+            processed += 1;
+        }
+        if processed > 0 {
+            // §3's flush-before-visible rule, paid once for the sweep.
+            self.machine.cache_flush();
+        }
+        ghcb.write_response(&mut self.machine, processed);
+        if failed {
+            HvResponse::Refused { reason: "page state change rejected" }
+        } else {
+            HvResponse::PageStateChanged
+        }
     }
 
     /// Injects a hardware interrupt while `vcpu_id` runs — an *automatic
@@ -780,6 +857,89 @@ mod tests {
         // The response names the domain that actually resumed (the boot
         // VMSA at frame 3), not the requested one.
         assert_eq!(resp, HvResponse::Switched { vmpl: Vmpl::Vmpl0, vmsa_gfn: 3 });
+    }
+
+    #[test]
+    fn doorbell_relays_one_switch_and_records_depth() {
+        let mut hv = booted();
+        validated(&mut hv, 10);
+        hv.machine.vmsa_create(Vmpl::Vmpl0, 10, 0, Vmpl::Vmpl3, Cpl::Cpl0).unwrap();
+        hv.register_domain_vmsa(0, Vmpl::Vmpl3, 10);
+        hv.machine.set_ghcb_msr(0, 20);
+        hv.set_trace(true);
+        let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
+        // Ring a doorbell announcing 5 queued requests for VMPL3.
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::Doorbell, 3, 5).unwrap();
+        let resp = hv.vmgexit(0, false).unwrap();
+        assert_eq!(resp, HvResponse::Switched { vmpl: Vmpl::Vmpl3, vmsa_gfn: 10 });
+        let stats = hv.stats();
+        assert_eq!(stats.doorbells, 1);
+        assert_eq!(stats.domain_switches, 1);
+        assert_eq!(stats.vmgexits, 1);
+        // One relayed switch charged, regardless of ring depth.
+        assert_eq!(hv.machine.cycles().of(CostCategory::DomainSwitch), 7135);
+        // A doorbell for a nonsense domain is refused without switching.
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl3, GhcbExit::Doorbell, 9, 1).unwrap();
+        assert!(matches!(hv.vmgexit(0, false).unwrap(), HvResponse::Refused { .. }));
+        assert_eq!(hv.stats().doorbells, 1);
+    }
+
+    #[test]
+    fn psc_batch_applies_entries_in_order() {
+        let mut hv = booted();
+        hv.machine.set_ghcb_msr(0, 20);
+        hv.set_trace(true);
+        let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
+        // List page at shared frame 40: make 30, 31, 32 private.
+        let mut list = Vec::new();
+        for gfn in [30u64, 31, 32] {
+            list.extend_from_slice(&(gfn | 1 << 63).to_le_bytes());
+        }
+        hv.machine.hv_write(Machine::gpa(40), &list).unwrap();
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PscBatch, 40, 3).unwrap();
+        assert_eq!(hv.vmgexit(0, false).unwrap(), HvResponse::PageStateChanged);
+        assert_eq!(ghcb.read_response(&hv.machine, Vmpl::Vmpl0).unwrap(), 3);
+        for gfn in [30, 31, 32] {
+            assert!(!hv.machine.rmp().hypervisor_accessible(gfn), "gfn {gfn} now private");
+        }
+        // The fold counts one page-state change per entry — equivalent to
+        // three serial PSCs — but only one vmgexit.
+        let stats = hv.stats();
+        assert_eq!(stats.page_state_changes, 3);
+        assert_eq!(stats.vmgexits, 1);
+    }
+
+    #[test]
+    fn psc_batch_stops_at_first_failure() {
+        let mut hv = booted();
+        hv.machine.set_ghcb_msr(0, 20);
+        let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
+        // Second entry is out of range: only the first applies.
+        let mut list = Vec::new();
+        list.extend_from_slice(&(30u64 | 1 << 63).to_le_bytes());
+        list.extend_from_slice(&(0x7fff_ffffu64 | 1 << 63).to_le_bytes());
+        list.extend_from_slice(&(31u64 | 1 << 63).to_le_bytes());
+        hv.machine.hv_write(Machine::gpa(40), &list).unwrap();
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PscBatch, 40, 3).unwrap();
+        assert!(matches!(hv.vmgexit(0, false).unwrap(), HvResponse::Refused { .. }));
+        assert_eq!(ghcb.read_response(&hv.machine, Vmpl::Vmpl0).unwrap(), 1);
+        assert!(!hv.machine.rmp().hypervisor_accessible(30));
+        assert!(hv.machine.rmp().hypervisor_accessible(31), "entry after failure untouched");
+    }
+
+    #[test]
+    fn psc_batch_rejects_oversized_and_unreadable_lists() {
+        let mut hv = booted();
+        hv.machine.set_ghcb_msr(0, 20);
+        let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PscBatch, 40, PSC_BATCH_MAX + 1)
+            .unwrap();
+        assert!(matches!(hv.vmgexit(0, false).unwrap(), HvResponse::Refused { .. }));
+        assert_eq!(ghcb.read_response(&hv.machine, Vmpl::Vmpl0).unwrap(), 0);
+        // A private list page is invisible to the hypervisor.
+        validated(&mut hv, 41);
+        ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PscBatch, 41, 1).unwrap();
+        assert!(matches!(hv.vmgexit(0, false).unwrap(), HvResponse::Refused { .. }));
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub fn exit_code_label(code: u64) -> &'static str {
         exit_code::PAGE_STATE_CHANGE => "page_state_change",
         exit_code::DOMAIN_SWITCH => "domain_switch",
         exit_code::CREATE_VCPU => "create_vcpu",
+        exit_code::DOORBELL => "doorbell",
+        exit_code::PSC_BATCH => "psc_batch",
         exit_code::SHUTDOWN => "shutdown",
         exit_code::AUTOMATIC => "automatic",
         exit_code::UNKNOWN => "unknown",
@@ -155,6 +157,9 @@ impl MetricsRegistry {
             Event::DomainSwitch { from, to, .. } => {
                 self.inc_counter(Key::new("domain_switch_total", from, domain_label(to)), 1);
             }
+            Event::Doorbell { target, depth, .. } => {
+                self.record_hist(Key::new("ring_depth", target, "doorbell"), depth as u64);
+            }
             _ => {}
         }
         self.set_gauge(Key::new("cycles_total", DOMAIN_NONE, ""), cycles);
@@ -218,6 +223,7 @@ fn event_labels(event: &Event) -> (u8, &'static str) {
         Event::NestedPageFault { vmpl, .. } => vmpl,
         Event::SyscallRedirect { .. } => 2,
         Event::AuditAppend { .. } => 3,
+        Event::Doorbell { target, .. } => target,
         Event::RmpTransition { .. } | Event::ChannelHandshake { .. } | Event::ModuleLoad { .. } => {
             DOMAIN_NONE
         }

@@ -248,9 +248,12 @@ impl Kernel {
                 }
             }
             AuditMode::VeilLog => {
-                // Execute-ahead: relay before the event continues (§6.3).
+                // Execute-ahead (§6.3), batched: the record is transcribed
+                // into protected-visible memory before the event continues;
+                // with the batched gate path a later doorbell drains the
+                // queue under one switch, serially it relays immediately.
                 let req = MonRequest::LogAppend { record: rec.to_bytes() };
-                if ctx.gate.request(ctx.hv, ctx.vcpu, req).is_err() {
+                if ctx.gate.request_deferred(ctx.hv, ctx.vcpu, req).is_err() {
                     self.audit_failures += 1;
                 }
             }
@@ -354,6 +357,9 @@ impl Kernel {
                 pages: (region.len / PAGE_SIZE) as u64,
                 map: false,
             };
+            // Revocations never ride the batched path: the clone mapping
+            // must be gone before the frames return to the pool, or the
+            // enclave could reach recycled memory through a stale entry.
             let _ = ctx.gate.request(ctx.hv, ctx.vcpu, req);
         }
         for (i, gfn) in region.frames.iter().enumerate() {
@@ -566,11 +572,19 @@ impl Kernel {
     ) -> Result<usize, Errno> {
         self.charge_base(ctx);
         self.charge_copy(ctx, buf.len());
-        let entry = self.process(pid)?.fd(fd)?.clone();
-        match entry {
-            FdEntry::File { ino, .. } => self.vfs.read_at(ino, offset as usize, buf),
-            _ => Err(Errno::ESPIPE),
-        }
+        let result = (|| {
+            let entry = self.process(pid)?.fd(fd)?.clone();
+            match entry {
+                FdEntry::File { ino, .. } => self.vfs.read_at(ino, offset as usize, buf),
+                _ => Err(Errno::ESPIPE),
+            }
+        })();
+        let ret = match &result {
+            Ok(n) => *n as i64,
+            Err(e) => e.as_neg_ret(),
+        };
+        self.audit_syscall(ctx, pid, Sysno::Pread64, ret);
+        result
     }
 
     /// `pwrite64`.
@@ -584,16 +598,24 @@ impl Kernel {
     ) -> Result<usize, Errno> {
         self.charge_base(ctx);
         self.charge_copy(ctx, buf.len());
-        let entry = self.process(pid)?.fd(fd)?.clone();
-        match entry {
-            FdEntry::File { ino, writable, .. } => {
-                if !writable {
-                    return Err(Errno::EBADF);
+        let result = (|| {
+            let entry = self.process(pid)?.fd(fd)?.clone();
+            match entry {
+                FdEntry::File { ino, writable, .. } => {
+                    if !writable {
+                        return Err(Errno::EBADF);
+                    }
+                    self.vfs.write_at(ino, offset as usize, buf)
                 }
-                self.vfs.write_at(ino, offset as usize, buf)
+                _ => Err(Errno::ESPIPE),
             }
-            _ => Err(Errno::ESPIPE),
-        }
+        })();
+        let ret = match &result {
+            Ok(n) => *n as i64,
+            Err(e) => e.as_neg_ret(),
+        };
+        self.audit_syscall(ctx, pid, Sysno::Pwrite64, ret);
+        result
     }
 
     /// `lseek`.
@@ -1033,6 +1055,58 @@ impl Kernel {
         }
         ctx.gate.request(ctx.hv, ctx.vcpu, MonRequest::Pvalidate { gfn, validate: true })?;
         self.frames.donate(gfn);
+        Ok(())
+    }
+
+    /// Batched [`Kernel::accept_page`]: one PSC-batch exit transitions
+    /// every frame (list staged in the GHCB shared buffer, as the real
+    /// GHCB PSC protocol does), then one gated `PvalidateBatch` request
+    /// validates them — two exits total instead of two per page.
+    ///
+    /// # Errors
+    ///
+    /// Rejects batches beyond the GHCB payload; the hypervisor refusing
+    /// the PSC or the monitor refusing a frame aborts (frames before the
+    /// failure stay transitioned, matching both halves' stop-at-first-
+    /// failure semantics).
+    pub fn accept_pages(&mut self, ctx: &mut KernelCtx<'_>, gfns: &[u64]) -> Result<(), OsError> {
+        if gfns.is_empty() {
+            return Ok(());
+        }
+        let ghcb_gfn = self
+            .ghcbs
+            .get(&ctx.vcpu)
+            .copied()
+            .ok_or_else(|| OsError::Config("no GHCB for vcpu".into()))?;
+        let ghcb = Ghcb::at(&ctx.hv.machine, ghcb_gfn)?;
+        if gfns.len() * 8 > Ghcb::payload_capacity() {
+            return Err(OsError::Config(format!(
+                "psc batch of {} entries exceeds GHCB payload",
+                gfns.len()
+            )));
+        }
+        let mut list = Vec::with_capacity(gfns.len() * 8);
+        for gfn in gfns {
+            // Bit 63 = to-private.
+            list.extend_from_slice(&(gfn | 1 << 63).to_le_bytes());
+        }
+        ghcb.write_payload(&mut ctx.hv.machine, self.vmpl, &list)?;
+        ghcb.write_request(
+            &mut ctx.hv.machine,
+            self.vmpl,
+            GhcbExit::PscBatch,
+            ghcb_gfn,
+            gfns.len() as u64,
+        )?;
+        match ctx.hv.vmgexit(ctx.vcpu, false)? {
+            veil_hv::HvResponse::PageStateChanged => {}
+            other => return Err(OsError::MonitorRefused(format!("hv: {other:?}"))),
+        }
+        let req = MonRequest::PvalidateBatch { gfns: gfns.to_vec(), validate: true };
+        ctx.gate.request(ctx.hv, ctx.vcpu, req)?;
+        for gfn in gfns {
+            self.frames.donate(*gfn);
+        }
         Ok(())
     }
 
@@ -1635,6 +1709,22 @@ mod tests {
         assert_eq!(kernel.frames.available(), before + 1);
         // The page is private + validated now:
         assert!(hv.machine.write(Vmpl::Vmpl0, gpa_of(505), b"mine").is_ok());
+    }
+
+    #[test]
+    fn accept_pages_batch_grows_pool_with_one_exit() {
+        let (mut hv, mut gate, mut kernel) = native();
+        let before = kernel.frames.available();
+        let exits_before = hv.stats().vmgexits;
+        let mut ctx = KernelCtx { hv: &mut hv, gate: &mut gate, vcpu: 0 };
+        kernel.accept_pages(&mut ctx, &[506, 507, 508]).unwrap();
+        assert_eq!(kernel.frames.available(), before + 3);
+        // One PSC-batch exit for all three frames (the native gate adds
+        // no switches of its own).
+        assert_eq!(hv.stats().vmgexits, exits_before + 1);
+        for gfn in [506u64, 507, 508] {
+            assert!(hv.machine.write(Vmpl::Vmpl0, gpa_of(gfn), b"mine").is_ok());
+        }
     }
 
     #[test]

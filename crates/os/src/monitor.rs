@@ -141,6 +141,17 @@ pub enum MonRequest {
     /// service-call path — the framework observing itself over its own
     /// protected channel.
     StatSnapshot,
+    /// §5.3 page-state-change delegation, batched: (in)validate a whole
+    /// list of frames under a single domain switch. The monitor processes
+    /// entries in order and refuses the batch at the first bad frame
+    /// (frames before it stay transitioned, matching the hypervisor's
+    /// PSC-batch stop-at-first-failure semantics).
+    PvalidateBatch {
+        /// Frames to (in)validate, processed in order.
+        gfns: Vec<u64>,
+        /// `true` to validate (accept), `false` to invalidate (release).
+        validate: bool,
+    },
 }
 
 /// Monitor response carried back through the IDCB.
@@ -172,6 +183,7 @@ impl MonRequest {
             MonRequest::EncAddThread { .. } => 11,
             MonRequest::EncDestroy { .. } => 12,
             MonRequest::StatSnapshot => 13,
+            MonRequest::PvalidateBatch { .. } => 14,
         }
     }
 
@@ -194,6 +206,7 @@ impl MonRequest {
             MonRequest::EncAddThread { .. } => 32,
             MonRequest::EncDestroy { .. } => 16,
             MonRequest::StatSnapshot => 16,
+            MonRequest::PvalidateBatch { gfns, .. } => 24 + 8 * gfns.len(),
         }
     }
 }
@@ -213,6 +226,35 @@ pub trait MonitorChannel {
         vcpu_id: u32,
         req: MonRequest,
     ) -> Result<MonResponse, OsError>;
+
+    /// Queues `req` for a later [`MonitorChannel::flush`]; the caller gives
+    /// up the response (fire-and-forget, §5.2 batched gate path). A channel
+    /// without batching support executes the request synchronously and
+    /// discards the response.
+    ///
+    /// # Errors
+    ///
+    /// Only transcription failures (oversized payload, no ring). Dispatch
+    /// errors surface at flush time, if at all.
+    fn request_deferred(
+        &mut self,
+        hv: &mut Hypervisor,
+        vcpu_id: u32,
+        req: MonRequest,
+    ) -> Result<(), OsError> {
+        self.request(hv, vcpu_id, req).map(|_| ())
+    }
+
+    /// Drains any requests queued by [`MonitorChannel::request_deferred`]
+    /// under a single domain switch. A no-op on channels without batching.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying machine or switch error.
+    fn flush(&mut self, hv: &mut Hypervisor, vcpu_id: u32) -> Result<(), OsError> {
+        let _ = (hv, vcpu_id);
+        Ok(())
+    }
 
     /// The VMPL the kernel executes at under this monitor.
     fn kernel_vmpl(&self) -> Vmpl;
@@ -245,6 +287,12 @@ impl MonitorChannel for NativeMonitor {
         match req {
             MonRequest::Pvalidate { gfn, validate } => {
                 hv.machine.pvalidate(Vmpl::Vmpl0, gfn, validate)?;
+                Ok(MonResponse::Ok)
+            }
+            MonRequest::PvalidateBatch { gfns, validate } => {
+                for gfn in gfns {
+                    hv.machine.pvalidate(Vmpl::Vmpl0, gfn, validate)?;
+                }
                 Ok(MonResponse::Ok)
             }
             MonRequest::CreateVcpu { vcpu_id: new_id, rip, rsp, cr3 } => {

@@ -136,9 +136,11 @@ impl ServiceDispatch for VeilServices {
                 Ok(MonResponse::Ok)
             }
             MonRequest::StatSnapshot => Ok(MonResponse::Bytes(self.stat.snapshot(hv))),
-            MonRequest::Pvalidate { .. } | MonRequest::CreateVcpu { .. } => Err(
-                OsError::MonitorRefused("architectural delegation terminates in VeilMon".into()),
-            ),
+            MonRequest::Pvalidate { .. }
+            | MonRequest::PvalidateBatch { .. }
+            | MonRequest::CreateVcpu { .. } => Err(OsError::MonitorRefused(
+                "architectural delegation terminates in VeilMon".into(),
+            )),
         }
     }
 }
@@ -193,6 +195,13 @@ impl CvmBuilder {
     /// [`veil_core::cvm::CvmBuilder::metrics`]).
     pub fn metrics(mut self, enabled: bool) -> Self {
         self.inner = self.inner.metrics(enabled);
+        self
+    }
+
+    /// Toggle the batched gate path (see
+    /// [`veil_core::cvm::CvmBuilder::batch`]).
+    pub fn batch(mut self, enabled: bool) -> Self {
+        self.inner = self.inner.batch(enabled);
         self
     }
 
@@ -263,6 +272,8 @@ mod tests {
         let fd = sys.open("/tmp/audited", OpenFlags::rdwr_create()).unwrap();
         sys.write(fd, b"x").unwrap();
         sys.close(fd).unwrap();
+        // Batched gate path: the records sit in the ring until a drain.
+        cvm.flush_gate().unwrap();
         assert_eq!(cvm.kernel.audit_failures, 0);
         assert_eq!(cvm.gate.services.log.record_count(), 3, "open+write+close");
         // Records live in Dom_SER storage, not kernel memory.

@@ -36,6 +36,12 @@ pub enum GhcbExit {
     DomainSwitch,
     /// Veil: create/boot a new VCPU whose VMSA gpa is in `exit_info1`.
     CreateVcpu,
+    /// Veil: doorbell — switch to the domain in `exit_info1` to drain a
+    /// gate request ring of depth `exit_info2` (batched gate path).
+    Doorbell,
+    /// Batched page-state change: `exit_info1` holds the gfn of a shared
+    /// list page of packed entries, `exit_info2` the entry count.
+    PscBatch,
     /// Plain guest shutdown request.
     Shutdown,
 }
@@ -49,6 +55,8 @@ impl GhcbExit {
             GhcbExit::PageStateChange => 0x80000010,
             GhcbExit::DomainSwitch => 0x8000_f001,
             GhcbExit::CreateVcpu => 0x8000_f002,
+            GhcbExit::Doorbell => 0x8000_f003,
+            GhcbExit::PscBatch => 0x8000_f004,
             GhcbExit::Shutdown => 0x8000_f0ff,
         }
     }
@@ -61,6 +69,8 @@ impl GhcbExit {
             0x80000010 => GhcbExit::PageStateChange,
             0x8000_f001 => GhcbExit::DomainSwitch,
             0x8000_f002 => GhcbExit::CreateVcpu,
+            0x8000_f003 => GhcbExit::Doorbell,
+            0x8000_f004 => GhcbExit::PscBatch,
             0x8000_f0ff => GhcbExit::Shutdown,
             _ => return None,
         })
@@ -197,6 +207,8 @@ mod tests {
             GhcbExit::PageStateChange,
             GhcbExit::DomainSwitch,
             GhcbExit::CreateVcpu,
+            GhcbExit::Doorbell,
+            GhcbExit::PscBatch,
             GhcbExit::Shutdown,
         ] {
             assert_eq!(GhcbExit::from_code(exit.code()), Some(exit));

@@ -276,6 +276,12 @@ impl Machine {
         self.caches.stats()
     }
 
+    /// Whether the adaptive policy currently has the verdict cache
+    /// bypassed (maintenance outweighed hits in the last window).
+    pub fn verdict_cache_bypassed(&self) -> bool {
+        self.caches.verdict_bypassed()
+    }
+
     /// Full flush of both caches: every translation and every cached RMP
     /// verdict is dropped. The software analogue of a CR3 reload plus a
     /// TLB shootdown; exposed for bulk permission-change sites (monitor

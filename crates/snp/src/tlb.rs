@@ -28,6 +28,25 @@
 //! twin-execution differential tests). Hit/miss/flush statistics live in
 //! [`veil_trace::CacheCounters`], outside the digest-bearing stream.
 //!
+//! Full flushes are **generation-stamped** rather than eager: every entry
+//! carries the generation it was filled under, and a full flush is a
+//! single generation bump instead of a multi-kilobyte memset. Flush-heavy
+//! workloads (bulk PSC sweeps call [`MachineCaches::tlb_flush_all`] on
+//! every page-state change) used to pay the memset even when they never
+//! looked anything up afterwards.
+//!
+//! The **verdict cache is additionally adaptive**: a windowed payoff
+//! estimator compares how often cached verdicts are consumed (hits)
+//! against how often RMP mutations force maintenance (invalidations and
+//! flushes). When a window shows maintenance dominating — the compress
+//! profile: long CPU-bound stretches, bulk page-state churn, almost no
+//! repeated checks — the verdict cache is *bypassed* (lookups and fills
+//! become single-branch no-ops) for a fixed span, then re-probed. The
+//! policy is driven purely by the deterministic access sequence, so the
+//! same schedule always makes the same decisions, and because cache state
+//! never affects results, cycles, or events, the cache-twin equivalence
+//! proof is unaffected.
+//!
 //! `VEIL_NO_TLB=1` in the environment disables both caches at machine
 //! construction; [`crate::machine::Machine::set_cache_enabled`] toggles
 //! them programmatically (used by the differential harness).
@@ -42,13 +61,29 @@ use veil_trace::CacheCounters;
 /// address space, far beyond what the workloads touch between flushes.
 const TLB_SLOTS: usize = 1024;
 
-/// One cached translation: `(root_gfn, vpn) -> (pfn, flags)`.
+/// Verdict-policy window length, in decision ticks (lookups plus
+/// maintenance operations). Short enough that a workload phase change is
+/// noticed quickly, long enough that one syscall burst cannot flip it.
+const ADAPT_WINDOW: u32 = 1024;
+
+/// How many ticks a bypass decision stands before the policy re-probes.
+const ADAPT_BYPASS_SPAN: u32 = 8 * ADAPT_WINDOW;
+
+/// Relative worth of one verdict hit versus one maintenance operation: a
+/// hit saves a full RMP walk (state + four permission masks), maintenance
+/// is one generation-stamped store. The cache keeps earning its keep while
+/// `hits * HIT_SAVES >= maintenance`.
+const ADAPT_HIT_SAVES: u32 = 4;
+
+/// One cached translation: `(root_gfn, vpn) -> (pfn, flags)`, valid only
+/// while `gen` matches the cache's current translation generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct TlbEntry {
     root_gfn: u64,
     vpn: u64,
     pfn: u64,
     flags: PteFlags,
+    gen: u32,
 }
 
 /// Direct-mapped slot for `(root_gfn, vpn)`. The root is folded in with a
@@ -81,12 +116,27 @@ pub(crate) struct MachineCaches {
     enabled: Cell<bool>,
     /// Direct-mapped translation entries, indexed by `vpn % TLB_SLOTS`.
     tlb: RefCell<Vec<Option<TlbEntry>>>,
-    /// Frames the walker has read page-table entries from since the last
-    /// full flush. A write landing on a marked frame means "software
-    /// edited a live page table" and forces a full translation flush.
-    table_frames: RefCell<Vec<bool>>,
-    /// Positive RMP verdicts per gfn, one bit per `(vmpl, access)` pair.
-    verdicts: RefCell<Vec<u16>>,
+    /// Current translation generation; entries from older generations are
+    /// invisible, so a full flush is one increment.
+    tlb_gen: Cell<u32>,
+    /// Generation at which the walker last read page-table entries from
+    /// each frame. A write landing on a currently-marked frame means
+    /// "software edited a live page table" and forces a full translation
+    /// flush; bumping the generation forgets every mark at once.
+    table_frames: RefCell<Vec<u32>>,
+    /// Positive RMP verdicts per gfn: low 16 bits are one flag per
+    /// `(vmpl, access)` pair, upper bits the generation they were filled
+    /// under (stale generations read as empty).
+    verdicts: RefCell<Vec<u64>>,
+    verdict_gen: Cell<u32>,
+    /// Adaptive verdict policy: when set, lookups and fills are bypassed
+    /// until `bypass_ticks` reaches [`ADAPT_BYPASS_SPAN`].
+    verdict_bypass: Cell<bool>,
+    bypass_ticks: Cell<u32>,
+    /// Measurement window: total ticks, hits, and maintenance operations.
+    win_ticks: Cell<u32>,
+    win_hits: Cell<u32>,
+    win_maint: Cell<u32>,
     // Live statistics (never part of the trace digest).
     tlb_hits: Cell<u64>,
     tlb_misses: Cell<u64>,
@@ -103,8 +153,15 @@ impl MachineCaches {
         MachineCaches {
             enabled: Cell::new(enabled),
             tlb: RefCell::new(vec![None; TLB_SLOTS]),
-            table_frames: RefCell::new(vec![false; frames]),
+            tlb_gen: Cell::new(1),
+            table_frames: RefCell::new(vec![0; frames]),
             verdicts: RefCell::new(vec![0; frames]),
+            verdict_gen: Cell::new(1),
+            verdict_bypass: Cell::new(false),
+            bypass_ticks: Cell::new(0),
+            win_ticks: Cell::new(0),
+            win_hits: Cell::new(0),
+            win_maint: Cell::new(0),
             tlb_hits: Cell::new(0),
             tlb_misses: Cell::new(0),
             tlb_flushes: Cell::new(0),
@@ -118,14 +175,91 @@ impl MachineCaches {
         self.enabled.get()
     }
 
-    /// Enables/disables both caches. Disabling drops every entry so a
-    /// later re-enable cannot observe stale state; statistics persist
-    /// (they are cumulative since machine construction).
+    /// Enables/disables both caches. Disabling drops every entry (and
+    /// resets the adaptive policy) so a later re-enable cannot observe
+    /// stale state; statistics persist (they are cumulative since machine
+    /// construction).
     pub(crate) fn set_enabled(&self, enabled: bool) {
         self.enabled.set(enabled);
-        self.tlb.borrow_mut().fill(None);
-        self.table_frames.borrow_mut().fill(false);
-        self.verdicts.borrow_mut().fill(0);
+        self.bump_tlb_gen();
+        self.bump_verdict_gen();
+        self.verdict_bypass.set(false);
+        self.bypass_ticks.set(0);
+        self.reset_window();
+    }
+
+    /// Whether the adaptive policy currently bypasses the verdict cache.
+    pub(crate) fn verdict_bypassed(&self) -> bool {
+        self.verdict_bypass.get()
+    }
+
+    fn reset_window(&self) {
+        self.win_ticks.set(0);
+        self.win_hits.set(0);
+        self.win_maint.set(0);
+    }
+
+    /// Invalidates every translation entry and table-frame mark in O(1)
+    /// by advancing the generation (falling back to an eager clear on the
+    /// unreachable-in-practice wraparound).
+    fn bump_tlb_gen(&self) {
+        let gen = self.tlb_gen.get();
+        if gen == u32::MAX {
+            self.tlb.borrow_mut().fill(None);
+            self.table_frames.borrow_mut().fill(0);
+            self.tlb_gen.set(1);
+        } else {
+            self.tlb_gen.set(gen + 1);
+        }
+    }
+
+    /// Invalidates every cached verdict in O(1) via the generation stamp.
+    fn bump_verdict_gen(&self) {
+        let gen = self.verdict_gen.get();
+        if gen == u32::MAX {
+            self.verdicts.borrow_mut().fill(0);
+            self.verdict_gen.set(1);
+        } else {
+            self.verdict_gen.set(gen + 1);
+        }
+    }
+
+    /// One step of the adaptive verdict policy. Every lookup and every
+    /// maintenance operation ticks the clock; window boundaries evaluate
+    /// the payoff and decide whether the next span runs bypassed.
+    fn adapt_tick(&self, hit: bool, maintenance: bool) {
+        if self.verdict_bypass.get() {
+            let t = self.bypass_ticks.get() + 1;
+            if t >= ADAPT_BYPASS_SPAN {
+                // Re-probe: the cache starts cold (the generation was
+                // bumped on entry) and a fresh window measures again.
+                self.verdict_bypass.set(false);
+                self.bypass_ticks.set(0);
+                self.reset_window();
+            } else {
+                self.bypass_ticks.set(t);
+            }
+            return;
+        }
+        if hit {
+            self.win_hits.set(self.win_hits.get() + 1);
+        }
+        if maintenance {
+            self.win_maint.set(self.win_maint.get() + 1);
+        }
+        let t = self.win_ticks.get() + 1;
+        if t >= ADAPT_WINDOW {
+            if self.win_hits.get() * ADAPT_HIT_SAVES < self.win_maint.get() {
+                // Maintenance dominated the window: the cache costs more
+                // than it saves. Drop everything once and go quiet.
+                self.verdict_bypass.set(true);
+                self.bypass_ticks.set(0);
+                self.bump_verdict_gen();
+            }
+            self.reset_window();
+        } else {
+            self.win_ticks.set(t);
+        }
     }
 
     /// Statistics snapshot.
@@ -147,9 +281,10 @@ impl MachineCaches {
         if !self.enabled.get() {
             return None;
         }
+        let gen = self.tlb_gen.get();
         let slot = tlb_slot(root_gfn, vpn);
         match self.tlb.borrow()[slot] {
-            Some(e) if e.root_gfn == root_gfn && e.vpn == vpn => {
+            Some(e) if e.gen == gen && e.root_gfn == root_gfn && e.vpn == vpn => {
                 self.tlb_hits.set(self.tlb_hits.get() + 1);
                 Some((e.pfn, e.flags))
             }
@@ -165,8 +300,9 @@ impl MachineCaches {
         if !self.enabled.get() {
             return;
         }
+        let gen = self.tlb_gen.get();
         let slot = tlb_slot(root_gfn, vpn);
-        self.tlb.borrow_mut()[slot] = Some(TlbEntry { root_gfn, vpn, pfn, flags });
+        self.tlb.borrow_mut()[slot] = Some(TlbEntry { root_gfn, vpn, pfn, flags, gen });
     }
 
     /// Records that the walker read a page-table entry from `gfn`, making
@@ -175,8 +311,9 @@ impl MachineCaches {
         if !self.enabled.get() {
             return;
         }
+        let gen = self.tlb_gen.get();
         if let Some(slot) = self.table_frames.borrow_mut().get_mut(gfn as usize) {
-            *slot = true;
+            *slot = gen;
         }
     }
 
@@ -196,13 +333,14 @@ impl MachineCaches {
 
     /// Full translation flush (CR3-reload / broadcast-shootdown model).
     /// Also forgets the sticky table-frame set: the cache is empty, so
-    /// nothing can go stale until the next walk re-marks its path.
+    /// nothing can go stale until the next walk re-marks its path. One
+    /// generation bump covers both — flush-heavy phases (bulk PSC sweeps)
+    /// pay O(1) per flush, not a cache-sized memset.
     pub(crate) fn tlb_flush_all(&self) {
         if !self.enabled.get() {
             return;
         }
-        self.tlb.borrow_mut().fill(None);
-        self.table_frames.borrow_mut().fill(false);
+        self.bump_tlb_gen();
         self.tlb_flushes.set(self.tlb_flushes.get() + 1);
     }
 
@@ -213,9 +351,10 @@ impl MachineCaches {
         if !self.enabled.get() {
             return;
         }
+        let gen = self.tlb_gen.get();
         let hit = {
             let frames = self.table_frames.borrow();
-            (first_gfn..=last_gfn).any(|g| frames.get(g as usize).copied().unwrap_or(false))
+            (first_gfn..=last_gfn).any(|g| frames.get(g as usize).copied().unwrap_or(0) == gen)
         };
         if hit {
             self.tlb_flush_all();
@@ -225,29 +364,49 @@ impl MachineCaches {
     // ---- verdict cache --------------------------------------------------
 
     /// Whether a positive verdict for `(gfn, vmpl, access)` is cached,
-    /// counting hits/misses. Only meaningful when enabled.
+    /// counting hits/misses. Only meaningful when enabled. While the
+    /// adaptive policy has the cache bypassed this is a single-branch
+    /// "no" that counts nothing (the cache is effectively off).
     pub(crate) fn verdict_lookup(&self, gfn: u64, vmpl: Vmpl, access: Access) -> bool {
         if !self.enabled.get() {
             return false;
         }
-        let bit = verdict_bit(vmpl, access);
-        let hit = self.verdicts.borrow().get(gfn as usize).map(|w| w & bit != 0).unwrap_or(false);
+        if self.verdict_bypass.get() {
+            self.adapt_tick(false, false);
+            return false;
+        }
+        let gen = (self.verdict_gen.get() as u64) << 16;
+        let bit = verdict_bit(vmpl, access) as u64;
+        let hit = self
+            .verdicts
+            .borrow()
+            .get(gfn as usize)
+            .map(|w| w & !0xffff == gen && w & bit != 0)
+            .unwrap_or(false);
         if hit {
             self.verdict_hits.set(self.verdict_hits.get() + 1);
         } else {
             self.verdict_misses.set(self.verdict_misses.get() + 1);
         }
+        self.adapt_tick(hit, false);
         hit
     }
 
     /// Caches a positive verdict (negative verdicts are never cached —
     /// a fault path re-checks the RMP every time, like hardware).
     pub(crate) fn verdict_fill(&self, gfn: u64, vmpl: Vmpl, access: Access) {
-        if !self.enabled.get() {
+        if !self.enabled.get() || self.verdict_bypass.get() {
             return;
         }
+        let gen = (self.verdict_gen.get() as u64) << 16;
+        let bit = verdict_bit(vmpl, access) as u64;
         if let Some(w) = self.verdicts.borrow_mut().get_mut(gfn as usize) {
-            *w |= verdict_bit(vmpl, access);
+            // A stale-generation word is logically empty: restamp it.
+            if *w & !0xffff == gen {
+                *w |= bit;
+            } else {
+                *w = gen | bit;
+            }
         }
     }
 
@@ -257,21 +416,31 @@ impl MachineCaches {
         if !self.enabled.get() {
             return;
         }
+        if self.verdict_bypass.get() {
+            self.adapt_tick(false, false);
+            return;
+        }
         if let Some(w) = self.verdicts.borrow_mut().get_mut(gfn as usize) {
             if *w != 0 {
                 *w = 0;
             }
         }
         self.verdict_flushes.set(self.verdict_flushes.get() + 1);
+        self.adapt_tick(false, true);
     }
 
-    /// Full verdict flush.
+    /// Full verdict flush (a generation bump).
     pub(crate) fn verdict_flush_all(&self) {
         if !self.enabled.get() {
             return;
         }
-        self.verdicts.borrow_mut().fill(0);
+        if self.verdict_bypass.get() {
+            self.adapt_tick(false, false);
+            return;
+        }
+        self.bump_verdict_gen();
         self.verdict_flushes.set(self.verdict_flushes.get() + 1);
+        self.adapt_tick(false, true);
     }
 }
 
@@ -328,6 +497,51 @@ mod tests {
         assert!(!c.verdict_lookup(3, Vmpl::Vmpl3, Access::Execute(Cpl::Cpl3)));
         c.verdict_invalidate(3);
         assert!(!c.verdict_lookup(3, Vmpl::Vmpl3, Access::Read));
+    }
+
+    #[test]
+    fn generation_flush_drops_both_caches() {
+        let c = MachineCaches::new(16, true);
+        c.tlb_fill(1, 2, 3, PteFlags::user_data());
+        c.verdict_fill(4, Vmpl::Vmpl3, Access::Read);
+        c.tlb_flush_all();
+        c.verdict_flush_all();
+        assert_eq!(c.tlb_lookup(1, 2), None);
+        assert!(!c.verdict_lookup(4, Vmpl::Vmpl3, Access::Read));
+        // Entries filled after the flush are visible again.
+        c.verdict_fill(4, Vmpl::Vmpl3, Access::Read);
+        assert!(c.verdict_lookup(4, Vmpl::Vmpl3, Access::Read));
+    }
+
+    #[test]
+    fn adaptive_policy_bypasses_maintenance_heavy_phases() {
+        let c = MachineCaches::new(16, true);
+        // A window of pure maintenance (the compress profile: page-state
+        // churn, no repeated checks) drives the payoff negative.
+        for _ in 0..ADAPT_WINDOW {
+            c.verdict_invalidate(1);
+        }
+        assert!(c.verdict_bypassed());
+        // While bypassed, fills and lookups are inert.
+        c.verdict_fill(2, Vmpl::Vmpl3, Access::Read);
+        assert!(!c.verdict_lookup(2, Vmpl::Vmpl3, Access::Read));
+        // After the bypass span elapses the policy re-probes.
+        for _ in 0..ADAPT_BYPASS_SPAN {
+            c.verdict_invalidate(1);
+        }
+        assert!(!c.verdict_bypassed());
+        c.verdict_fill(2, Vmpl::Vmpl3, Access::Read);
+        assert!(c.verdict_lookup(2, Vmpl::Vmpl3, Access::Read));
+    }
+
+    #[test]
+    fn adaptive_policy_keeps_a_hit_dominated_cache() {
+        let c = MachineCaches::new(16, true);
+        c.verdict_fill(3, Vmpl::Vmpl3, Access::Read);
+        for _ in 0..4 * ADAPT_WINDOW {
+            assert!(c.verdict_lookup(3, Vmpl::Vmpl3, Access::Read));
+        }
+        assert!(!c.verdict_bypassed());
     }
 
     #[test]

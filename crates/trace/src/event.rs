@@ -14,6 +14,10 @@ pub mod exit_code {
     pub const DOMAIN_SWITCH: u64 = 0x8000_f001;
     /// Veil VCPU-creation hypercall.
     pub const CREATE_VCPU: u64 = 0x8000_f002;
+    /// Veil doorbell hypercall (batched gate-ring drain).
+    pub const DOORBELL: u64 = 0x8000_f003;
+    /// Batched page-state change (shared list page).
+    pub const PSC_BATCH: u64 = 0x8000_f004;
     /// Guest shutdown request.
     pub const SHUTDOWN: u64 = 0x8000_f0ff;
     /// Automatic exit (hardware interrupt; SVM `VMEXIT_INTR`).
@@ -137,6 +141,16 @@ pub enum Event {
         /// `true` = load, `false` = unload.
         load: bool,
     },
+    /// A doorbell rang: one relayed switch is about to drain a gate
+    /// request ring of `depth` queued requests (batched gate path).
+    Doorbell {
+        /// VCPU whose ring is drained.
+        vcpu: u32,
+        /// Target domain of the drain switch.
+        target: u8,
+        /// Queued requests in the ring at ring time.
+        depth: u32,
+    },
 }
 
 impl Event {
@@ -154,6 +168,7 @@ impl Event {
             Event::AuditAppend { .. } => 8,
             Event::ChannelHandshake { .. } => 9,
             Event::ModuleLoad { .. } => 10,
+            Event::Doorbell { .. } => 11,
         }
     }
 
@@ -171,6 +186,7 @@ impl Event {
             Event::AuditAppend { .. } => "audit_append",
             Event::ChannelHandshake { .. } => "channel_handshake",
             Event::ModuleLoad { .. } => "module_load",
+            Event::Doorbell { .. } => "doorbell",
         }
     }
 
@@ -234,6 +250,11 @@ impl Event {
                 buf.push(protected as u8);
                 buf.push(load as u8);
             }
+            Event::Doorbell { vcpu, target, depth } => {
+                buf.extend_from_slice(&vcpu.to_le_bytes());
+                buf.push(target);
+                buf.extend_from_slice(&depth.to_le_bytes());
+            }
         }
     }
 
@@ -291,6 +312,11 @@ impl Event {
                 ("protected", protected.to_string()),
                 ("load", load.to_string()),
             ],
+            Event::Doorbell { vcpu, target, depth } => vec![
+                ("vcpu", vcpu.to_string()),
+                ("target", target.to_string()),
+                ("depth", depth.to_string()),
+            ],
         }
     }
 }
@@ -319,12 +345,13 @@ mod tests {
             Event::AuditAppend { pid: 1, sysno: 2 },
             Event::ChannelHandshake { step: 0 },
             Event::ModuleLoad { pages: 4, protected: true, load: true },
+            Event::Doorbell { vcpu: 0, target: 1, depth: 3 },
         ];
         let mut tags: Vec<u8> = events.iter().map(Event::tag).collect();
         tags.sort_unstable();
         tags.dedup();
         assert_eq!(tags.len(), events.len(), "duplicate tag byte");
-        assert_eq!(tags, (0..11).collect::<Vec<u8>>(), "tags must stay dense and stable");
+        assert_eq!(tags, (0..12).collect::<Vec<u8>>(), "tags must stay dense and stable");
     }
 
     #[test]

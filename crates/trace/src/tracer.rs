@@ -68,16 +68,25 @@ pub struct EventCounters {
     pub handshake_steps: u64,
     /// Module loads/unloads.
     pub module_loads: u64,
+    /// Doorbell rings (batched gate-ring drains).
+    pub doorbells: u64,
     /// Fold state: a page-state-change `VMGEXIT` is open and its RMP
     /// transition has not been observed yet.
     in_psc: bool,
+    /// Fold state: a batched page-state-change `VMGEXIT` is open; every
+    /// RMP transition until the next non-transition event belongs to it.
+    in_psc_batch: bool,
 }
 
 impl EventCounters {
     /// Folds one event into the counters.
     pub fn observe(&mut self, event: &Event) {
         let was_psc = self.in_psc;
+        let was_psc_batch = self.in_psc_batch;
         self.in_psc = false;
+        if !matches!(event, Event::RmpTransition { .. }) {
+            self.in_psc_batch = false;
+        }
         match *event {
             Event::VmgExit { code, automatic, .. } => {
                 if automatic {
@@ -90,6 +99,9 @@ impl EventCounters {
                     if code == exit_code::PAGE_STATE_CHANGE {
                         self.in_psc = true;
                     }
+                    if code == exit_code::PSC_BATCH {
+                        self.in_psc_batch = true;
+                    }
                 }
             }
             Event::VmEnter { .. } => self.vmenters += 1,
@@ -101,7 +113,7 @@ impl EventCounters {
             }
             Event::RmpTransition { .. } => {
                 self.rmp_transitions += 1;
-                if was_psc {
+                if was_psc || was_psc_batch {
                     self.page_state_changes += 1;
                 }
             }
@@ -112,6 +124,7 @@ impl EventCounters {
             Event::AuditAppend { .. } => self.audit_appends += 1,
             Event::ChannelHandshake { .. } => self.handshake_steps += 1,
             Event::ModuleLoad { .. } => self.module_loads += 1,
+            Event::Doorbell { .. } => self.doorbells += 1,
         }
     }
 
@@ -356,5 +369,34 @@ mod tests {
         assert_eq!(c.page_state_changes, 1);
         assert_eq!(c.rmp_transitions, 2);
         assert_eq!(c.vmgexits, 2);
+    }
+
+    #[test]
+    fn psc_batch_fold_counts_every_bracketed_transition() {
+        let mut c = EventCounters::default();
+        c.observe(&Event::VmgExit {
+            vcpu: 0,
+            vmpl: 3,
+            code: exit_code::PSC_BATCH,
+            user_ghcb: false,
+            automatic: false,
+        });
+        for gfn in 0..3 {
+            c.observe(&Event::RmpTransition { gfn, to_private: true });
+        }
+        c.observe(&Event::VmEnter { vcpu: 0, vmpl: 3 });
+        // A later direct assign is outside the bracket.
+        c.observe(&Event::RmpTransition { gfn: 9, to_private: true });
+        assert_eq!(c.page_state_changes, 3, "one per batched entry");
+        assert_eq!(c.rmp_transitions, 4);
+        assert_eq!(c.vmgexits, 1);
+    }
+
+    #[test]
+    fn doorbell_fold_counts() {
+        let mut c = EventCounters::default();
+        c.observe(&Event::Doorbell { vcpu: 0, target: 1, depth: 5 });
+        c.observe(&Event::Doorbell { vcpu: 0, target: 1, depth: 2 });
+        assert_eq!(c.doorbells, 2);
     }
 }

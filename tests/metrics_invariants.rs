@@ -148,7 +148,7 @@ fn http_workload_snapshot_digest_matches_golden() {
     let digest = cvm.metrics_digest_hex();
     println!("http snapshot digest: {digest}");
     assert_eq!(
-        digest, "b53219b8f1cf676ae582dc568d76603e72128893018abed73ee366896fec90b6",
+        digest, "beeb7be62441124f1ba2f5f20a68347050625b652b84737c9e4cde1643ed5773",
         "metrics snapshot drifted from the pinned golden"
     );
 }

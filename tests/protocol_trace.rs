@@ -7,6 +7,9 @@ use veil_hv::SwitchEvent;
 use veil_os::monitor::MonRequest;
 use veil_sdk::{install_enclave, EnclaveBinary, EnclaveRuntime, EnclaveSys};
 use veil_snp::perms::Vmpl;
+use veil_workloads::driver::VeilUnshieldedDriver;
+use veil_workloads::http::HttpWorkload;
+use veil_workloads::Workload;
 
 #[test]
 fn fig3_sequence_for_a_delegated_request() {
@@ -43,7 +46,9 @@ fn fig3_sequence_for_a_delegated_request() {
 
 #[test]
 fn service_requests_terminate_in_dom_ser() {
-    let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).build().unwrap();
+    // Pins the *serial* per-request protocol; the batched twin below
+    // asserts the amortized shape.
+    let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).batch(false).build().unwrap();
     cvm.kernel.audit.mode = veil_os::audit::AuditMode::VeilLog;
     cvm.kernel.audit.rules = veil_os::audit::paper_ruleset();
     cvm.hv.set_trace(true);
@@ -61,6 +66,30 @@ fn service_requests_terminate_in_dom_ser() {
         assert_eq!(pair[1].to, Vmpl::Vmpl3, "and returns to the kernel");
         assert!(!pair[0].user_ghcb);
     }
+}
+
+#[test]
+fn batched_service_requests_share_one_doorbell_pair() {
+    let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).batch(true).build().unwrap();
+    cvm.kernel.audit.mode = veil_os::audit::AuditMode::VeilLog;
+    cvm.kernel.audit.rules = veil_os::audit::paper_ruleset();
+    cvm.hv.set_trace(true);
+    let pid = cvm.spawn();
+    {
+        let mut sys = cvm.sys(pid);
+        let fd = sys.open("/tmp/traced", OpenFlags::rdwr_create()).unwrap();
+        sys.close(fd).unwrap();
+    }
+    // Both audit appends sit in the ring: no switches yet.
+    assert!(cvm.hv.trace().is_empty(), "{:?}", cvm.hv.trace());
+    cvm.flush_gate().unwrap();
+    // One doorbell round trip drained both records into Dom_SER.
+    let trace = cvm.hv.trace();
+    assert_eq!(trace.len(), 2, "one switch pair for the whole batch: {trace:?}");
+    assert_eq!(trace[0].to, Vmpl::Vmpl1, "drain terminates in Dom_SER");
+    assert_eq!(trace[1].to, Vmpl::Vmpl3, "and returns to the kernel");
+    assert_eq!(cvm.hv.stats().doorbells, 1);
+    assert_eq!(cvm.gate.services.log.record_count(), 2, "open + close both landed");
 }
 
 #[test]
@@ -113,12 +142,12 @@ fn enclave_syscall_is_two_user_ghcb_crossings() {
 //
 // and paste the printed constants over the pins below.
 
-const GOLDEN_BOOT: &str = "ccd9ae8ee523bec329f2d628969fab0315170aeb06c8860859a1c360c09a0974";
-const GOLDEN_HANDSHAKE: &str = "19d7b7b726d00e479362c391267eb55667661f2b3921e9a4605e29e31095b817";
+const GOLDEN_BOOT: &str = "e99a51b526701e8af9a201cb0dc773a819af29ea9872f857ca6a03795f0b7d08";
+const GOLDEN_HANDSHAKE: &str = "9c861cfd71bc21dcd288553bc5c4e51724ce2ff799aa10e29d6195a5fd8677ba";
 const GOLDEN_DOMAIN_SWITCH: &str =
-    "f1c7b90d4ffa96314196a883088d2e7fcff3d822548c4b2eeee0f3f516b2b596";
+    "3fe0db8b33960c54f25778a0c6cdf2957912be5a2ff01625ccbd55eea641cb71";
 const GOLDEN_SYSCALL_REDIRECT: &str =
-    "9375d8389abaf90d6280292ad71fc2e6b21c9eb469eb1fde340f8652d723aa0d";
+    "c53f3c76f67778a0ca949f236b31ea3c4e5b8dbe54c840e83bfc7833352fd60d";
 
 fn assert_golden(name: &str, pinned: &str, actual: &str) {
     if std::env::var_os("VEIL_REGEN_GOLDEN").is_some() {
@@ -187,6 +216,40 @@ fn golden_syscall_redirect_trace() {
         sys.getpid().unwrap();
     }
     assert_golden("GOLDEN_SYSCALL_REDIRECT", GOLDEN_SYSCALL_REDIRECT, &cvm.trace_digest_hex());
+}
+
+#[test]
+fn golden_batched_http_trace() {
+    // The batched gate path's whole-protocol pin: an audited http run
+    // whose audit records ride the ring. Stored in tests/goldens/ (not a
+    // const) so regeneration is a file write, not a source edit.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/batched_http.digest");
+    let mut cvm = CvmBuilder::new().frames(2048).vcpus(1).batch(true).build().unwrap();
+    cvm.kernel.audit.mode = veil_os::audit::AuditMode::VeilLog;
+    cvm.kernel.audit.rules = veil_os::audit::paper_ruleset();
+    cvm.hv.set_trace(true);
+    let pid = cvm.spawn();
+    {
+        let mut driver = VeilUnshieldedDriver { cvm: &mut cvm, pid };
+        HttpWorkload::nginx(10).run(&mut driver).unwrap();
+    }
+    cvm.flush_gate().unwrap();
+    assert!(cvm.hv.stats().doorbells > 0, "the batched run must actually batch");
+    assert_eq!(cvm.gate.deferred_errors(), 0);
+    let digest = cvm.trace_digest_hex();
+    if std::env::var_os("VEIL_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, format!("{digest}\n")).unwrap();
+        println!("regenerated {path}: {digest}");
+        return;
+    }
+    let pinned = std::fs::read_to_string(path)
+        .expect("missing tests/goldens/batched_http.digest — regenerate with VEIL_REGEN_GOLDEN=1");
+    assert_eq!(
+        digest,
+        pinned.trim(),
+        "batched http trace drifted. If the protocol change is intentional, regenerate with \
+         `VEIL_REGEN_GOLDEN=1 cargo test -q --test protocol_trace -- --nocapture golden`."
+    );
 }
 
 #[test]
