@@ -10,21 +10,33 @@
 //! once with the caches on — plus the TLB/verdict hit rates of the
 //! cached run. It asserts the two runs agree on model cycles and
 //! workload checksums (a cheap standing twin-execution check), then
-//! writes `BENCH_HOTPATH.json`. A third, untimed pass per workload runs
-//! with the metrics registry on and contributes relay-latency
-//! p50/p99/p99.9 cycle columns — asserting along the way that metrics
-//! collection leaves model cycles untouched.
+//! writes `BENCH_HOTPATH.json`.
 //!
-//! A fourth pair of passes per workload measures the **batched gate
+//! A second pair of passes per workload measures the **batched gate
 //! path** (PR 7): the workload runs with VeilS-LOG auditing on — so
 //! every audited syscall crosses the gate — once over the serial
 //! protocol (`batch(false)`) and once over the ring-and-doorbell
 //! protocol (`batch(true)`). The serial protocol costs exactly two
 //! domain switches per gate request; the batched twin's
 //! `switches_per_request` is derived from the measured switch deficit
-//! between the two runs. Standing floors enforced on every run:
-//! `speedup_cache >= 1.0` for every workload, and
-//! `switches_per_request < 1.0` on http and kvstore in batched mode.
+//! between the two runs. Like the cache pair, the gate pair is
+//! interleaved (ABBA) and min-of-reps de-noised — the earlier
+//! single-shot pair let allocator noise masquerade as a batching
+//! regression on compress.
+//!
+//! A final untimed pass re-runs the batched gate configuration with
+//! the metrics registry on and contributes relay-latency p50/p99/p99.9
+//! cycle columns — asserting along the way that metrics collection
+//! leaves model cycles untouched. Running the *audited batched*
+//! configuration matters: doorbell drains and PSC batches charge
+//! occupancy-scaled relay costs, so the histogram spreads across
+//! buckets instead of collapsing into the single constant-roundtrip
+//! bucket.
+//!
+//! Standing floors enforced on every run: `speedup_cache >= 1.0` and
+//! `gate_wall_ms_batched <= gate_wall_ms_serial * 1.02` for every
+//! workload, and `switches_per_request < 1.0` on http and kvstore in
+//! batched mode.
 //!
 //! Usage: `cargo run --release -p veil-bench --bin hotpath [--scale N]
 //! [--reps N] [--out PATH] [--baseline name=ms,...]` (default
@@ -110,34 +122,13 @@ fn run_mode(make: &dyn Fn() -> Box<dyn Workload>, cache_enabled: bool) -> ModeRe
     }
 }
 
-/// Result of the untimed metrics-on pass: relay-latency distribution
-/// plus the model cycles it observed (for the inertness cross-check).
+/// Result of the untimed metrics-on pass over the audited batched gate
+/// configuration: relay-latency distribution plus the model cycles it
+/// observed (for the inertness cross-check against the timed batched
+/// gate run).
 struct MetricsResult {
     model_cycles: u64,
     relay: veil_snp::metrics::Histogram,
-}
-
-/// Runs the workload once with the metrics registry enabled — untimed,
-/// so the histogram percentiles never perturb the wall-clock numbers of
-/// the two timed modes.
-fn run_metrics(make: &dyn Fn() -> Box<dyn Workload>) -> MetricsResult {
-    let mut cvm = veil_cvm();
-    cvm.hv.machine.set_metrics_enabled(true);
-    let pid = cvm.spawn();
-    let binary = EnclaveBinary::build("hotpath", 16 * 1024, 8 * 1024).with_heap_pages(32);
-    let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
-    let mut rt = EnclaveRuntime::new(handle);
-    let mut workload = make();
-
-    let cycles_before = cvm.hv.machine.cycles().total();
-    {
-        let mut d = EnclaveDriver { cvm: &mut cvm, rt: &mut rt };
-        workload.run(&mut d).expect("workload run");
-    }
-    MetricsResult {
-        model_cycles: cvm.hv.machine.cycles().total() - cycles_before,
-        relay: cvm.hv.machine.metrics().merged_histogram("relay_cycles"),
-    }
 }
 
 /// One gate pass: the workload run with VeilS-LOG auditing on, so every
@@ -152,23 +143,30 @@ struct GateResult {
     doorbells: u64,
 }
 
-/// Runs the workload once with auditing routed to VeilS-LOG, over the
-/// serial or the batched gate protocol, and counts the traffic.
-fn run_gate_mode(make: &dyn Fn() -> Box<dyn Workload>, batched: bool) -> GateResult {
+/// Boots the audited gate-pass CVM: VeilS-LOG auditing with the paper
+/// ruleset plus positioned I/O (the kvstore workload's hot syscall is
+/// pwrite, §9.2's highest syscall rate), so the gate pass measures the
+/// relay-bound case on every workload.
+fn gate_cvm(batched: bool, metrics: bool) -> Cvm {
     let mut cvm = CvmBuilder::new()
         .frames(BENCH_FRAMES)
         .vcpus(1)
         .log_frames(1024)
         .batch(batched)
+        .metrics(metrics)
         .build()
         .expect("veil boot");
     cvm.kernel.audit.mode = veil_os::audit::AuditMode::VeilLog;
     cvm.kernel.audit.rules = veil_os::audit::paper_ruleset();
-    // The kvstore workload's hot syscall is pwrite (§9.2's highest
-    // syscall rate); audit positioned I/O too so the gate pass measures
-    // the relay-bound case on every workload.
     cvm.kernel.audit.rules.insert(veil_os::syscall::Sysno::Pwrite64);
     cvm.kernel.audit.rules.insert(veil_os::syscall::Sysno::Pread64);
+    cvm
+}
+
+/// Runs the workload once with auditing routed to VeilS-LOG, over the
+/// serial or the batched gate protocol, and counts the traffic.
+fn run_gate_mode(make: &dyn Fn() -> Box<dyn Workload>, batched: bool) -> GateResult {
+    let mut cvm = gate_cvm(batched, false);
     let pid = cvm.spawn();
     let binary = EnclaveBinary::build("hotpath", 16 * 1024, 8 * 1024).with_heap_pages(32);
     let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
@@ -194,6 +192,31 @@ fn run_gate_mode(make: &dyn Fn() -> Box<dyn Workload>, batched: bool) -> GateRes
         deferred_errors: cvm.gate.deferred_errors(),
         domain_switches: cvm.hv.stats().domain_switches - switches_before,
         doorbells: cvm.hv.stats().doorbells - doorbells_before,
+    }
+}
+
+/// The untimed metrics-on twin of `run_gate_mode(make, true)`: identical
+/// audited batched configuration, but with the registry collecting the
+/// relay-latency histogram. Doorbell drains and PSC batches charge
+/// occupancy-scaled relay costs in this configuration, so the histogram
+/// spreads instead of collapsing into one constant-roundtrip bucket.
+fn run_gate_metrics(make: &dyn Fn() -> Box<dyn Workload>) -> MetricsResult {
+    let mut cvm = gate_cvm(true, true);
+    let pid = cvm.spawn();
+    let binary = EnclaveBinary::build("hotpath", 16 * 1024, 8 * 1024).with_heap_pages(32);
+    let handle = install_enclave(&mut cvm, pid, &binary).expect("install");
+    let mut rt = EnclaveRuntime::new(handle);
+    let mut workload = make();
+
+    let cycles_before = cvm.hv.machine.cycles().total();
+    {
+        let mut d = EnclaveDriver { cvm: &mut cvm, rt: &mut rt };
+        workload.run(&mut d).expect("workload run");
+    }
+    cvm.flush_gate().expect("flush");
+    MetricsResult {
+        model_cycles: cvm.hv.machine.cycles().total() - cycles_before,
+        relay: cvm.hv.machine.metrics().merged_histogram("relay_cycles"),
     }
 }
 
@@ -285,23 +308,65 @@ fn measure(name: &'static str, make: &dyn Fn() -> Box<dyn Workload>, reps: usize
         "{name}: speedup_cache {:.6} < 1.0 — caches slowed the simulator",
         off.wall_ms / on.wall_ms
     );
-    // One extra metrics-on pass for the latency distribution. Metrics
-    // are observationally inert: same model cycles as the timed runs.
-    let metrics = run_metrics(make);
-    assert_eq!(metrics.model_cycles, on.model_cycles, "{name}: metrics perturbed cycles");
     // The batched-gate pair: identical workload, identical gate traffic,
-    // only the relay protocol differs.
-    let gate_serial = run_gate_mode(make, false);
-    let gate_batched = run_gate_mode(make, true);
-    assert_eq!(gate_serial.stats.checksum, gate_batched.stats.checksum, "{name}: gate checksum");
-    assert_eq!(gate_serial.stats.ops, gate_batched.stats.ops, "{name}: gate op count");
-    assert_eq!(gate_serial.gate_requests, gate_batched.gate_requests, "{name}: request count");
-    assert_eq!(gate_batched.deferred_errors, 0, "{name}: batched drain must not shed requests");
-    assert_eq!(gate_serial.doorbells, 0, "{name}: serial protocol never rings the doorbell");
+    // only the relay protocol differs. Same ABBA min-of-reps treatment
+    // as the cache pair — the earlier single-shot pair let allocator
+    // noise masquerade as a batching regression on compress.
+    let mut gate_serial: Option<GateResult> = None;
+    let mut gate_batched: Option<GateResult> = None;
+    let mut batched_first = false;
+    let mut run_gate_pair = |serial: &mut Option<GateResult>, batched: &mut Option<GateResult>| {
+        let (s, b) = if batched_first {
+            let b = run_gate_mode(make, true);
+            (run_gate_mode(make, false), b)
+        } else {
+            let s = run_gate_mode(make, false);
+            (s, run_gate_mode(make, true))
+        };
+        batched_first = !batched_first;
+        assert_eq!(s.stats.checksum, b.stats.checksum, "{name}: gate checksum");
+        assert_eq!(s.stats.ops, b.stats.ops, "{name}: gate op count");
+        assert_eq!(s.gate_requests, b.gate_requests, "{name}: request count");
+        assert_eq!(b.deferred_errors, 0, "{name}: batched drain must not shed requests");
+        assert_eq!(s.doorbells, 0, "{name}: serial protocol never rings the doorbell");
+        assert!(b.domain_switches <= s.domain_switches, "{name}: batching must not add switches");
+        if serial.as_ref().is_none_or(|prev| s.wall_ms < prev.wall_ms) {
+            *serial = Some(s);
+        }
+        if batched.as_ref().is_none_or(|prev| b.wall_ms < prev.wall_ms) {
+            *batched = Some(b);
+        }
+    };
+    let gate_reps = reps.div_ceil(2).max(1);
+    for _ in 0..gate_reps {
+        run_gate_pair(&mut gate_serial, &mut gate_batched);
+    }
+    // Bounded extra sampling before judging the wall-clock floor, same
+    // rationale as the cache pair above: a statistical tie flips within
+    // a few pairs, a genuine batching regression never does.
+    let mut extra = 0;
+    while extra < gate_reps.max(2) * 10
+        && gate_batched.as_ref().unwrap().wall_ms > gate_serial.as_ref().unwrap().wall_ms * 1.02
+    {
+        run_gate_pair(&mut gate_serial, &mut gate_batched);
+        extra += 1;
+    }
+    let gate_serial = gate_serial.unwrap();
+    let gate_batched = gate_batched.unwrap();
+    // Standing floor: ring-and-doorbell batching must not tax wall
+    // clock. The 2% allowance absorbs residual scheduler jitter that
+    // min-of-reps cannot fully cancel on sub-millisecond runs.
     assert!(
-        gate_batched.domain_switches <= gate_serial.domain_switches,
-        "{name}: batching must not add switches"
+        gate_batched.wall_ms <= gate_serial.wall_ms * 1.02,
+        "{name}: gate_wall_ms_batched {:.3} > 1.02 * gate_wall_ms_serial {:.3}",
+        gate_batched.wall_ms,
+        gate_serial.wall_ms
     );
+    // One extra metrics-on pass over the audited batched configuration
+    // for the relay-latency distribution. Metrics are observationally
+    // inert: same model cycles as the timed batched gate run.
+    let metrics = run_gate_metrics(make);
+    assert_eq!(metrics.model_cycles, gate_batched.model_cycles, "{name}: metrics perturbed cycles");
     Row { name, off, on, relay: metrics.relay, gate_serial, gate_batched }
 }
 

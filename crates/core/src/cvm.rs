@@ -36,6 +36,7 @@ pub struct CvmBuilder {
     trace: Option<bool>,
     metrics: Option<bool>,
     batch: Option<bool>,
+    shard: u32,
 }
 
 impl Default for CvmBuilder {
@@ -59,6 +60,7 @@ impl CvmBuilder {
             trace: None,
             metrics: None,
             batch: None,
+            shard: 0,
         }
     }
 
@@ -127,6 +129,14 @@ impl CvmBuilder {
         self.batch.unwrap_or_else(|| std::env::var_os("VEIL_NO_BATCH").is_none_or(|v| v == *"0"))
     }
 
+    /// Labels this CVM's machine with a fleet shard id (see
+    /// [`veil_snp::machine::MachineConfig::shard`]). Label-only: shard 7
+    /// boots, runs, and digests exactly like shard 0.
+    pub fn shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
     fn layout_config(&self) -> LayoutConfig {
         LayoutConfig {
             frames: self.frames,
@@ -146,8 +156,11 @@ impl CvmBuilder {
     /// kernel boot aborts construction.
     pub fn build_with<S: ServiceDispatch>(self, services: S) -> Result<GenericCvm<S>, OsError> {
         let layout = Layout::compute(&self.layout_config());
-        let machine =
-            Machine::new(MachineConfig { frames: self.frames as usize, ..Default::default() });
+        let machine = Machine::new(MachineConfig {
+            frames: self.frames as usize,
+            shard: self.shard,
+            ..Default::default()
+        });
         let mut hv = Hypervisor::new(machine);
         hv.set_trace(self.trace_enabled());
         hv.set_metrics(self.metrics_enabled());
@@ -279,6 +292,16 @@ pub struct GenericCvm<S> {
     /// Cycles the Veil initialization added to boot (§9.1).
     pub veil_boot_cycles: u64,
 }
+
+// Fleet shards move whole CVMs across worker threads: a `GenericCvm` (and
+// the native twin) must be `Send` whenever its service bundle is. The
+// assertion makes any future non-`Send` field a compile error here rather
+// than a type-inference surprise at the scheduler call site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<GenericCvm<crate::service::NoServices>>();
+    assert_send::<NativeCvm>();
+};
 
 impl<S: ServiceDispatch> GenericCvm<S> {
     /// Whether Veil protections are active (always true for this type;

@@ -1,0 +1,152 @@
+//! Fleet execution and deterministic merging of shard reports.
+//!
+//! [`run_fleet`] fans the shards out over the work-stealing scheduler
+//! and folds the per-shard reports into one [`FleetReport`]. The merge
+//! is order-fixed (shard 0, 1, 2, ...) regardless of which worker
+//! finished which shard when, so the merged latency histogram, the
+//! totals, and above all [`FleetReport::merged_digest_hex`] are
+//! bit-identical at any worker count — that digest is the fleet's
+//! determinism witness, pinned by `tests/fleet_determinism.rs`.
+
+use crate::shard::{run_shard, ShardReport};
+use crate::{sched, FleetConfig};
+use veil_crypto::sha256::{hex, Sha256};
+use veil_metrics::Histogram;
+use veil_snp::cost::CLOCK_HZ;
+
+/// The merged result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// All shards' request latencies merged into one histogram.
+    pub latency: Histogram,
+    /// SHA-256 over every shard's (id, trace digest, metrics digest), in
+    /// shard order — the fleet-wide determinism witness.
+    pub merged_digest_hex: String,
+    /// Requests completed across the fleet.
+    pub total_ops: u64,
+    /// Tenants served across the fleet.
+    pub total_tenants: u32,
+    /// Slowest shard's virtual completion time: the fleet finishes when
+    /// its last shard does (shards run concurrently in virtual time).
+    pub makespan_cycles: u64,
+    /// Scheduler steal count (diagnostic only; excluded from the digest
+    /// because it legitimately varies with worker count and seed).
+    pub steals: u64,
+}
+
+impl FleetReport {
+    /// Aggregate fleet throughput in requests per virtual second.
+    pub fn aggregate_ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 * CLOCK_HZ as f64 / self.makespan_cycles.max(1) as f64
+    }
+
+    /// Tenants fully served per virtual second.
+    pub fn tenants_per_sec(&self) -> f64 {
+        f64::from(self.total_tenants) * CLOCK_HZ as f64 / self.makespan_cycles.max(1) as f64
+    }
+}
+
+/// Runs every shard of `cfg` across `cfg.workers` OS threads and merges
+/// the reports.
+///
+/// # Panics
+///
+/// If any shard fails (boot or syscall error) — see
+/// [`crate::shard::run_shard`].
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let shards: Vec<u32> = (0..cfg.shards).collect();
+    let (reports, stats) =
+        sched::run_tasks_with_stats(shards, cfg.workers, cfg.seed, |_, shard| {
+            run_shard(cfg, shard)
+        });
+    merge(reports, stats.steals)
+}
+
+/// Folds shard reports (already in shard order) into a [`FleetReport`].
+fn merge(reports: Vec<ShardReport>, steals: u64) -> FleetReport {
+    let mut latency = Histogram::new();
+    let mut digest = Sha256::new();
+    let mut total_ops = 0u64;
+    let mut total_tenants = 0u32;
+    let mut makespan_cycles = 0u64;
+    for r in &reports {
+        latency.merge(&r.latency);
+        digest.update(&r.shard.to_le_bytes());
+        digest.update(r.trace_digest_hex.as_bytes());
+        digest.update(r.metrics_digest_hex.as_bytes());
+        total_ops += r.ops;
+        total_tenants += r.tenants;
+        makespan_cycles = makespan_cycles.max(r.makespan_cycles);
+    }
+    FleetReport {
+        shards: reports,
+        latency,
+        merged_digest_hex: hex(&digest.finalize()),
+        total_ops,
+        total_tenants,
+        makespan_cycles,
+        steals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veil_workloads::tenant::TenantKind;
+
+    fn cfg(shards: u32, workers: usize) -> FleetConfig {
+        FleetConfig {
+            seed: 0xbeef,
+            tenants: 8,
+            shards,
+            workers,
+            requests_per_tenant: 4,
+            mean_interarrival_cycles: 200_000,
+            kind: TenantKind::Memcached,
+            frames: 4096,
+            log_frames: 512,
+        }
+    }
+
+    #[test]
+    fn merged_digest_is_worker_count_invariant() {
+        let base = run_fleet(&cfg(2, 1));
+        for workers in [2, 4] {
+            let other = run_fleet(&cfg(2, workers));
+            assert_eq!(other.merged_digest_hex, base.merged_digest_hex, "workers={workers}");
+            assert_eq!(other.latency.count(), base.latency.count());
+            assert_eq!(other.makespan_cycles, base.makespan_cycles);
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = run_fleet(&cfg(2, 2));
+        assert_eq!(r.total_tenants, 8);
+        assert_eq!(r.total_ops, 8 * 4);
+        assert_eq!(r.latency.count(), r.total_ops);
+        assert!(r.aggregate_ops_per_sec() > 0.0);
+        assert!(r.tenants_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sharding_shrinks_the_makespan() {
+        // Same tenant population, overloaded arrivals: four shards must
+        // drain the backlog in well under half the single-shard time.
+        let mut one = cfg(1, 1);
+        one.mean_interarrival_cycles = 10_000;
+        let mut four = cfg(4, 1);
+        four.mean_interarrival_cycles = 10_000;
+        let r1 = run_fleet(&one);
+        let r4 = run_fleet(&four);
+        assert_eq!(r1.total_ops, r4.total_ops);
+        assert!(
+            r4.makespan_cycles * 2 < r1.makespan_cycles,
+            "4 shards {} vs 1 shard {}",
+            r4.makespan_cycles,
+            r1.makespan_cycles
+        );
+    }
+}

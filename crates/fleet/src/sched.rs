@@ -1,0 +1,174 @@
+//! Work-stealing scheduler over real OS threads.
+//!
+//! [`run_tasks`] fans a vector of tasks out to `workers` OS threads.
+//! Each worker owns a deque seeded round-robin; when its own deque runs
+//! dry it steals from the *back* of a victim's deque, visiting victims
+//! in a per-worker order shuffled from `steal_seed`. The shuffle is the
+//! point: the fleet determinism suite re-runs the same task set under
+//! many steal orders and worker counts and asserts the *results* are
+//! identical — scheduling must affect only who executes a task, never
+//! what the task computes.
+//!
+//! Results come back indexed by submission order, so callers can merge
+//! deterministically no matter which thread finished which task when.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use veil_testkit::rng::{splitmix64, TestRng};
+
+/// Counters describing one [`run_tasks_with_stats`] execution. Purely
+/// diagnostic — none of this may influence task results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tasks executed in total (always the submitted count).
+    pub executed: u64,
+    /// Tasks a worker took from another worker's deque.
+    pub steals: u64,
+}
+
+/// Runs every task, returning results in submission order. See
+/// [`run_tasks_with_stats`].
+pub fn run_tasks<T, R, F>(tasks: Vec<T>, workers: usize, steal_seed: u64, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_tasks_with_stats(tasks, workers, steal_seed, f).0
+}
+
+/// Runs every task on a pool of `workers` OS threads (clamped to at
+/// least 1), returning `(results, stats)` with results in submission
+/// order. `f` receives `(task_index, task)`.
+///
+/// # Panics
+///
+/// Propagates a panic from any task after the scope joins.
+pub fn run_tasks_with_stats<T, R, F>(
+    tasks: Vec<T>,
+    workers: usize,
+    steal_seed: u64,
+    f: F,
+) -> (Vec<R>, SchedStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let total = tasks.len();
+    let workers = workers.max(1).min(total.max(1));
+    // Round-robin initial distribution: worker w starts with tasks
+    // w, w+workers, w+2*workers, ...
+    let mut queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        queues[i % workers].get_mut().expect("fresh queue").push_back((i, task));
+    }
+    let queues = &queues;
+    let f = &f;
+    let steals = AtomicU64::new(0);
+    let steals_ref = &steals;
+
+    let mut results: Vec<Option<R>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            // Per-worker victim order: every worker probes the other
+            // queues in its own shuffled sequence, so contention (and
+            // the determinism suite's coverage) varies with the seed.
+            let mut victims: Vec<usize> = (0..workers).filter(|v| *v != w).collect();
+            TestRng::from_seed(steal_seed ^ splitmix64(w as u64)).shuffle(&mut victims);
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Own work first, oldest first.
+                    let own = queues[w].lock().expect("queue").pop_front();
+                    if let Some((i, task)) = own {
+                        out.push((i, f(i, task)));
+                        continue;
+                    }
+                    // Steal newest-first from the first non-empty victim.
+                    let mut stolen = None;
+                    for &v in &victims {
+                        if let Some(item) = queues[v].lock().expect("queue").pop_back() {
+                            stolen = Some(item);
+                            break;
+                        }
+                    }
+                    match stolen {
+                        Some((i, task)) => {
+                            steals_ref.fetch_add(1, Ordering::Relaxed);
+                            out.push((i, f(i, task)));
+                        }
+                        // Every deque empty: all tasks are taken, and
+                        // tasks never spawn tasks, so this worker is done.
+                        None => break,
+                    }
+                }
+                out
+            }));
+        }
+        let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker panicked") {
+                assert!(slots[i].is_none(), "task {i} executed twice");
+                slots[i] = Some(r);
+            }
+        }
+        slots
+    });
+
+    let results: Vec<R> = results
+        .iter_mut()
+        .enumerate()
+        .map(|(i, slot)| slot.take().unwrap_or_else(|| panic!("task {i} never executed")))
+        .collect();
+    let stats = SchedStats { executed: total as u64, steals: steals.load(Ordering::Relaxed) };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let tasks: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 4, 7] {
+            let out = run_tasks(tasks.clone(), workers, 42, |i, t| {
+                assert_eq!(i as u64, t);
+                t * t
+            });
+            assert_eq!(out, (0..100).map(|t| t * t).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let hits: Vec<AtomicU32> = (0..200).map(|_| AtomicU32::new(0)).collect();
+        let (_, stats) = run_tasks_with_stats((0..200).collect::<Vec<usize>>(), 4, 7, |_, t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.executed, 200);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one_and_empty_tasks_is_fine() {
+        assert_eq!(run_tasks(vec![1, 2, 3], 0, 0, |_, t| t), vec![1, 2, 3]);
+        assert_eq!(run_tasks(Vec::<u8>::new(), 4, 0, |_, t| t), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn steal_order_cannot_change_results() {
+        let tasks: Vec<u64> = (0..64).collect();
+        let baseline = run_tasks(tasks.clone(), 1, 0, |_, t| splitmix64(t));
+        for seed in 0..16 {
+            for workers in [2, 3, 4] {
+                let got = run_tasks(tasks.clone(), workers, seed, |_, t| splitmix64(t));
+                assert_eq!(got, baseline, "seed={seed} workers={workers}");
+            }
+        }
+    }
+}

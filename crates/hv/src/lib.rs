@@ -164,6 +164,13 @@ pub struct Hypervisor {
     pub policy: HvPolicy,
 }
 
+// Fleet shards carry a whole hypervisor (machine + VCPUs) to an OS worker
+// thread; keep that provable at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Hypervisor>();
+};
+
 impl Hypervisor {
     /// Wraps a machine.
     pub fn new(machine: Machine) -> Self {
@@ -420,7 +427,18 @@ impl Hypervisor {
                             target: target.index() as u8,
                             depth: info2 as u32,
                         });
-                        self.relay_domain_switch(vcpu_id, target, from_user_ghcb)
+                        let resp = self.relay_domain_switch(vcpu_id, target, from_user_ghcb);
+                        if matches!(resp, HvResponse::Switched { .. }) {
+                            // The relay holds the VCPU a little longer per
+                            // announced slot (drain bookkeeping before
+                            // re-entry), so relay latency scales with ring
+                            // occupancy. Charged outside DomainSwitch: the
+                            // switch itself still costs exactly 7,135.
+                            let per_slot = self.machine.cost().doorbell_drain_slot;
+                            self.machine
+                                .charge(CostCategory::Other, per_slot * u64::from(info2 as u32));
+                        }
+                        resp
                     }
                     None => HvResponse::Refused { reason: "bad target vmpl" },
                 };
@@ -559,6 +577,10 @@ impl Hypervisor {
             // §3's flush-before-visible rule, paid once for the sweep.
             self.machine.cache_flush();
         }
+        // Each applied entry costs one list read + RMP update on top of
+        // the fixed round trip, so longer batches take longer relays.
+        let per_entry = self.machine.cost().psc_batch_entry;
+        self.machine.charge(CostCategory::Other, per_entry * processed);
         ghcb.write_response(&mut self.machine, processed);
         if failed {
             HvResponse::Refused { reason: "page state change rejected" }
@@ -870,6 +892,7 @@ mod tests {
         let ghcb = Ghcb::at(&hv.machine, 20).unwrap();
         // Ring a doorbell announcing 5 queued requests for VMPL3.
         ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::Doorbell, 3, 5).unwrap();
+        let snap = hv.machine.cycles().snapshot();
         let resp = hv.vmgexit(0, false).unwrap();
         assert_eq!(resp, HvResponse::Switched { vmpl: Vmpl::Vmpl3, vmsa_gfn: 10 });
         let stats = hv.stats();
@@ -878,10 +901,17 @@ mod tests {
         assert_eq!(stats.vmgexits, 1);
         // One relayed switch charged, regardless of ring depth.
         assert_eq!(hv.machine.cycles().of(CostCategory::DomainSwitch), 7135);
-        // A doorbell for a nonsense domain is refused without switching.
+        // The occupancy-scaled drain hold is charged outside DomainSwitch:
+        // one per-slot increment for each of the 5 announced entries.
+        let delta = hv.machine.cycles().since(&snap);
+        assert_eq!(delta.of(CostCategory::Other), 5 * hv.machine.cost().doorbell_drain_slot);
+        // A doorbell for a nonsense domain is refused without switching —
+        // and without any drain-hold charge.
         ghcb.write_request(&mut hv.machine, Vmpl::Vmpl3, GhcbExit::Doorbell, 9, 1).unwrap();
+        let snap = hv.machine.cycles().snapshot();
         assert!(matches!(hv.vmgexit(0, false).unwrap(), HvResponse::Refused { .. }));
         assert_eq!(hv.stats().doorbells, 1);
+        assert_eq!(hv.machine.cycles().since(&snap).of(CostCategory::Other), 0);
     }
 
     #[test]
@@ -897,8 +927,15 @@ mod tests {
         }
         hv.machine.hv_write(Machine::gpa(40), &list).unwrap();
         ghcb.write_request(&mut hv.machine, Vmpl::Vmpl0, GhcbExit::PscBatch, 40, 3).unwrap();
+        let snap = hv.machine.cycles().snapshot();
         assert_eq!(hv.vmgexit(0, false).unwrap(), HvResponse::PageStateChanged);
         assert_eq!(ghcb.read_response(&hv.machine, Vmpl::Vmpl0).unwrap(), 3);
+        // Relay cost = the fixed exit round trip plus one per-entry
+        // increment per applied page, so batch length shows up in the
+        // relay-latency histogram.
+        let delta = hv.machine.cycles().since(&snap);
+        let cost = hv.machine.cost();
+        assert_eq!(delta.of(CostCategory::Other), cost.domain_switch() + 3 * cost.psc_batch_entry);
         for gfn in [30, 31, 32] {
             assert!(!hv.machine.rmp().hypervisor_accessible(gfn), "gfn {gfn} now private");
         }

@@ -148,6 +148,12 @@ impl ServiceDispatch for VeilServices {
 /// The standard Veil CVM: monitor + all three services + kernel.
 pub type Cvm = GenericCvm<VeilServices>;
 
+// The concrete shard payload the fleet scheduler hands to worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Cvm>();
+};
+
 /// Builder producing the standard [`Cvm`].
 #[derive(Debug, Clone, Default)]
 pub struct CvmBuilder {
@@ -202,6 +208,13 @@ impl CvmBuilder {
     /// [`veil_core::cvm::CvmBuilder::batch`]).
     pub fn batch(mut self, enabled: bool) -> Self {
         self.inner = self.inner.batch(enabled);
+        self
+    }
+
+    /// Label the CVM's machine with a fleet shard id (see
+    /// [`veil_core::cvm::CvmBuilder::shard`]).
+    pub fn shard(mut self, shard: u32) -> Self {
+        self.inner = self.inner.shard(shard);
         self
     }
 

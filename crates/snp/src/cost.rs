@@ -102,6 +102,16 @@ pub struct CostModel {
     pub sha256_block: u64,
     /// Page encryption/decryption cost per page (sealed paging).
     pub crypt_page: u64,
+    /// Per-queued-entry cost of a doorbell relay: each slot announced by
+    /// the doorbell extends the hypervisor's hold on the VCPU (slot header
+    /// inspection + bounded-drain bookkeeping before re-entry), so a
+    /// deeper ring costs a longer relay. Keeps the relay-latency
+    /// histogram occupancy-sensitive instead of a constant.
+    pub doorbell_drain_slot: u64,
+    /// Per-entry cost of a `PscBatch` relay: one packed-list read, RMP
+    /// update, and response-bookkeeping step per page-state entry, on top
+    /// of the fixed exit round trip.
+    pub psc_batch_entry: u64,
 }
 
 impl Default for CostModel {
@@ -122,6 +132,8 @@ impl Default for CostModel {
             module_page_load: 200_000,
             sha256_block: 90,
             crypt_page: 4200,
+            doorbell_drain_slot: 260,
+            psc_batch_entry: 110,
         }
     }
 }

@@ -29,6 +29,12 @@ pub struct MachineConfig {
     pub device_key_seed: [u8; 32],
     /// Cycle-cost constants.
     pub cost: CostModel,
+    /// Fleet shard id this machine belongs to. Label-only: threaded into
+    /// the tracer stream metadata and metrics exports so N independent
+    /// machines can be merged without ambiguity; never charged, traced,
+    /// or digested, so single-machine behaviour is byte-identical at any
+    /// shard id.
+    pub shard: u32,
 }
 
 impl Default for MachineConfig {
@@ -38,9 +44,20 @@ impl Default for MachineConfig {
             frames: 4096,
             device_key_seed: [0x5e; 32],
             cost: CostModel::default(),
+            shard: 0,
         }
     }
 }
+
+// The fleet scheduler moves whole machines across OS worker threads, so
+// `Machine` must stay `Send`. Everything it owns is owned data (`BTreeMap`,
+// `Vec`, `Cell`-based cache counters — `Send`, merely not `Sync`); this
+// assertion turns any future `Rc`/raw-pointer regression into a compile
+// error at the crate that introduces it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+};
 
 /// The simulated machine.
 #[derive(Debug, Clone)]
@@ -73,6 +90,8 @@ pub struct Machine {
     metrics: MetricsRegistry,
     /// Hierarchical span profiler clocked by the virtual cycle account.
     spans: SpanProfiler,
+    /// Fleet shard id (see [`MachineConfig::shard`]).
+    shard: u32,
 }
 
 impl Machine {
@@ -85,6 +104,8 @@ impl Machine {
         metrics.set_enabled(metrics_enabled);
         let mut spans = SpanProfiler::new();
         spans.set_enabled(metrics_enabled);
+        let mut tracer = Tracer::new();
+        tracer.set_shard(config.shard);
         Machine {
             mem: GuestMemory::new(config.frames),
             rmp: Rmp::new(config.frames),
@@ -95,13 +116,20 @@ impl Machine {
             device_key,
             launch_measurement: None,
             ghcb_msr: BTreeMap::new(),
-            tracer: Tracer::new(),
+            tracer,
             current_domain: Vmpl::Vmpl0,
             domain_cycles: [0; 4],
             caches: MachineCaches::new(config.frames, cache_enabled),
             metrics,
             spans,
+            shard: config.shard,
         }
+    }
+
+    /// The fleet shard id this machine was built with (0 outside fleet
+    /// runs). Label-only; see [`MachineConfig::shard`].
+    pub fn shard_id(&self) -> u32 {
+        self.shard
     }
 
     // ---- introspection ------------------------------------------------

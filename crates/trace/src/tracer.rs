@@ -162,6 +162,10 @@ pub struct Tracer {
     hasher: Sha256,
     counters: EventCounters,
     scratch: Vec<u8>,
+    /// Which fleet shard this stream belongs to. Pure stream metadata for
+    /// multi-machine exports: it never enters the record encoding or the
+    /// digest, so single-machine goldens are unaffected by sharding.
+    shard: u32,
 }
 
 impl Default for Tracer {
@@ -187,7 +191,20 @@ impl Tracer {
             hasher: Sha256::new(),
             counters: EventCounters::default(),
             scratch: Vec::with_capacity(64),
+            shard: 0,
         }
+    }
+
+    /// The shard this stream is labelled with (0 outside fleet runs).
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Labels the stream with a fleet shard id. Metadata only: the digest
+    /// and record encoding are unchanged, so two shards fed identical
+    /// events still produce identical digests.
+    pub fn set_shard(&mut self, shard: u32) {
+        self.shard = shard;
     }
 
     /// Whether ring recording is enabled.

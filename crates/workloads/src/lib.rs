@@ -26,6 +26,7 @@ pub mod memcached;
 pub mod minidb;
 pub mod openssl;
 pub mod spec_cpu;
+pub mod tenant;
 
 use veil_os::error::Errno;
 
