@@ -26,7 +26,7 @@
 //! Usage: `cargo run --release -p veil-bench --bin fleet [--tenants N]
 //! [--requests N] [--seed N] [--out PATH]` (default `BENCH_FLEET.json`).
 
-use veil_fleet::{run_fleet, FleetConfig, FleetReport, TenantKind};
+use veil_fleet::{run_fleet, Component, FleetConfig, FleetReport, TenantKind};
 use veil_testkit::fmt::{json_array, json_f64, json_field, json_object, json_str_field};
 
 /// Arrival-rate sweep points (mean interarrival, cycles). The smallest
@@ -58,10 +58,32 @@ fn check_report(r: &FleetReport, what: &str) {
     for s in &r.shards {
         assert_eq!(s.audit_failures, 0, "{what}: shard {} shed audit records", s.shard);
         assert!(s.doorbells > 0, "{what}: shard {} never used the batched gate", s.shard);
+        assert_eq!(s.unmatched_completes, 0, "{what}: shard {} lost request propagation", s.shard);
     }
+    // The causal decomposition must account for every latency cycle the
+    // histogram recorded — exactly, fleet-wide.
+    assert_eq!(r.attribution.requests, r.total_ops, "{what}: every request attributed");
+    assert_eq!(
+        r.attribution.total(),
+        r.latency.sum(),
+        "{what}: attribution must partition total latency exactly"
+    );
 }
 
 fn report_json(cfg: &FleetConfig, r: &FleetReport) -> String {
+    let offenders: Vec<String> = r
+        .slo
+        .top_offenders(4)
+        .into_iter()
+        .map(|o| {
+            json_object(&[
+                json_field("tenant", o.tenant),
+                json_field("requests", o.requests),
+                json_field("breaches", o.breaches),
+                json_field("worst_cycles", o.worst_cycles),
+            ])
+        })
+        .collect();
     json_object(&[
         json_str_field("workload", cfg.kind.label()),
         json_field("mean_interarrival_cycles", cfg.mean_interarrival_cycles),
@@ -73,9 +95,24 @@ fn report_json(cfg: &FleetConfig, r: &FleetReport) -> String {
         json_field("makespan_cycles", r.makespan_cycles),
         json_field("aggregate_ops_per_sec", json_f64(r.aggregate_ops_per_sec())),
         json_field("tenants_per_sec", json_f64(r.tenants_per_sec())),
-        json_field("latency_p50_cycles", r.latency.percentile(50.0)),
-        json_field("latency_p99_cycles", r.latency.percentile(99.0)),
-        json_field("latency_p999_cycles", r.latency.percentile(99.9)),
+        json_field("latency_p50_cycles", r.latency.percentile_interp(50.0)),
+        json_field("latency_p99_cycles", r.latency.percentile_interp(99.0)),
+        json_field("latency_p999_cycles", r.latency.percentile_interp(99.9)),
+        json_field("queue_wait_cycles", r.attribution.queue_wait),
+        json_field("batch_stall_cycles", r.attribution.batch_stall),
+        json_field("relay_cycles", r.attribution.relay),
+        json_field("service_cycles", r.attribution.service),
+        json_field("tail_threshold_cycles", r.tail.threshold_cycles),
+        json_field("tail_requests", r.tail.requests),
+        json_str_field("tail_dominant", r.tail.dominant_component().label()),
+        json_field("tail_queue_wait_cycles", r.tail.attribution.queue_wait),
+        json_field("tail_batch_stall_cycles", r.tail.attribution.batch_stall),
+        json_field("tail_relay_cycles", r.tail.attribution.relay),
+        json_field("tail_service_cycles", r.tail.attribution.service),
+        json_field("slo_cycles", r.slo.slo_cycles),
+        json_field("slo_breaches", r.slo.breaches()),
+        json_field("slo_burn_rate", json_f64(r.slo.burn_rate())),
+        json_field("top_offenders", json_array(&offenders)),
         json_field("gate_requests", r.shards.iter().map(|s| s.gate_requests).sum::<u64>()),
         json_field("doorbells", r.shards.iter().map(|s| s.doorbells).sum::<u64>()),
         json_field("steals", r.steals),
@@ -89,6 +126,7 @@ fn main() {
     let requests: u32 = arg_value(&args, "--requests").and_then(|v| v.parse().ok()).unwrap_or(8);
     let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x0f1ee7);
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_FLEET.json".to_string());
+    let show_top = args.iter().any(|a| a == "--top");
 
     println!(
         "{:<10} {:>12} {:>7} {:>8} {:>12} {:>12} {:>11} {:>11} {:>11}",
@@ -105,6 +143,8 @@ fn main() {
 
     let mut sweep_items = Vec::new();
     let mut scaling_items = Vec::new();
+    let mut flame = String::new();
+    let mut tail_separated = 0u32;
     for kind in TenantKind::ALL {
         // Arrival-rate sweep at the full fleet geometry.
         for interarrival in SWEEP_INTERARRIVAL {
@@ -112,6 +152,9 @@ fn main() {
             cfg.mean_interarrival_cycles = interarrival;
             let r = run_fleet(&cfg);
             check_report(&r, kind.label());
+            if r.latency.percentile_interp(99.9) > r.latency.percentile_interp(99.0) {
+                tail_separated += 1;
+            }
             println!(
                 "{:<10} {:>12} {:>7} {:>8} {:>12.0} {:>12.1} {:>11} {:>11} {:>11}",
                 kind.label(),
@@ -120,10 +163,26 @@ fn main() {
                 cfg.workers,
                 r.aggregate_ops_per_sec(),
                 r.tenants_per_sec(),
-                r.latency.percentile(50.0),
-                r.latency.percentile(99.0),
-                r.latency.percentile(99.9),
+                r.latency.percentile_interp(50.0),
+                r.latency.percentile_interp(99.0),
+                r.latency.percentile_interp(99.9),
             );
+            println!(
+                "{:<10}   critical path: queue {:.0}% stall {:.0}% relay {:.0}% service \
+                 {:.0}% | tail({}) -> {} | burn {:.2}x",
+                "",
+                r.attribution.share(Component::QueueWait) * 100.0,
+                r.attribution.share(Component::BatchStall) * 100.0,
+                r.attribution.share(Component::Relay) * 100.0,
+                r.attribution.share(Component::Service) * 100.0,
+                r.tail.requests,
+                r.tail.dominant_component().label(),
+                r.slo.burn_rate(),
+            );
+            flame.push_str(&r.flame_folded(&format!("fleet;{};ia{}", kind.label(), interarrival)));
+            if show_top && interarrival == OVERLOAD_INTERARRIVAL {
+                println!("\n{}", veil_fleet::top::render(&r));
+            }
             sweep_items.push(report_json(&cfg, &r));
         }
 
@@ -173,6 +232,11 @@ fn main() {
         ]));
     }
 
+    // Standing floor: the interpolated percentiles must separate the
+    // tail somewhere — collapsed p99 == p99.9 across the whole sweep
+    // would mean the estimator regressed to bucket-floor quantization.
+    assert!(tail_separated > 0, "p99.9 > p99 must hold on at least one sweep point");
+
     let doc = json_object(&[
         json_field("tenants", tenants),
         json_field("requests_per_tenant", requests),
@@ -182,5 +246,7 @@ fn main() {
         json_field("scaling", json_array(&scaling_items)),
     ]);
     std::fs::write(&out_path, format!("{doc}\n")).expect("write json");
-    println!("\nwrote {out_path}");
+    let flame_path = out_path.strip_suffix(".json").unwrap_or(&out_path).to_string() + ".flame";
+    std::fs::write(&flame_path, flame).expect("write flame");
+    println!("\nwrote {out_path} and {flame_path}");
 }

@@ -16,6 +16,12 @@
 //! `inspect flame` does the same but emits the span profiler's folded
 //! stacks (`vmplN;parent;child self_cycles` per line), ready for
 //! `flamegraph.pl` or any folded-stack consumer.
+//!
+//! `inspect veiltop [--tenants N] [--shards N] [--requests N]
+//! [--seed N]` runs a small fleet and renders the `veiltop` console:
+//! per-shard rows cross-checked against veilstat gate-service
+//! snapshots, fleet-wide critical-path attribution, and the top-K SLO
+//! offender table.
 
 use veil_crypto::DhKeyPair;
 use veil_os::sys::{OpenFlags, Sys};
@@ -219,6 +225,21 @@ fn flame_mode(args: &[String]) {
     print!("{}", cvm.spans().folded());
 }
 
+/// `inspect veiltop`: run a small fleet, render the live console.
+fn veiltop_mode(args: &[String]) {
+    let cfg = veil_fleet::FleetConfig {
+        seed: arg_u64(args, "--seed", 0x70b),
+        tenants: arg_u64(args, "--tenants", 32) as u32,
+        shards: arg_u64(args, "--shards", 4) as u32,
+        workers: arg_u64(args, "--workers", 2) as usize,
+        requests_per_tenant: arg_u64(args, "--requests", 6) as u32,
+        mean_interarrival_cycles: arg_u64(args, "--interarrival", 250_000),
+        ..veil_fleet::FleetConfig::default()
+    };
+    let report = veil_fleet::run_fleet(&cfg);
+    print!("{}", veil_fleet::top::render(&report));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -232,6 +253,10 @@ fn main() {
         }
         Some("flame") => {
             flame_mode(&args);
+            return;
+        }
+        Some("veiltop") => {
+            veiltop_mode(&args);
             return;
         }
         _ => {}

@@ -1,0 +1,262 @@
+//! `trend` — appends fleet bench results to a longitudinal trend file
+//! and enforces regression floors in CI.
+//!
+//! Reads `BENCH_FLEET.json` (written by the `fleet` bin), extracts the
+//! overload sweep point of every workload, and appends one run entry to
+//! `BENCH_TREND.json`. Entries are indexed by run number, not
+//! wall-clock — the simulator is deterministic and the trend file is
+//! checked in, so nothing nondeterministic may enter it. Re-running on
+//! identical bench output appends an identical entry (modulo the run
+//! index), which is itself a cheap regression signal: a diff in any
+//! other field means behavior moved.
+//!
+//! `trend --check` additionally enforces the standing floors on the
+//! *latest* entry and exits nonzero on violation:
+//!
+//! * aggregate overload throughput per workload >= [`OPS_FLOORS`];
+//! * interpolated p99.9 >= p99 (the tail stays separated);
+//! * every latency cycle causally attributed (`attributed ==
+//!   histogram total` was asserted by `fleet`; here the columns must
+//!   still be present and nonzero).
+//!
+//! Usage: `trend [--in BENCH_FLEET.json] [--out BENCH_TREND.json]
+//! [--check]`
+
+/// Minimum overload aggregate ops/sec per workload, in `TenantKind::ALL`
+/// order (http, kvstore, memcached). Set ~40% under the seed values so
+/// only a real regression (not estimator jitter) trips them.
+const OPS_FLOORS: [(&str, f64); 3] =
+    [("http", 70_000.0), ("kvstore", 140_000.0), ("memcached", 55_000.0)];
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Extracts the raw value text of `"key": <value>` from a flat JSON
+/// object fragment (our own generator's output: no nested objects
+/// between the key and its comma/brace terminator for scalar fields).
+fn field_raw<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": ");
+    let at = obj.find(&needle)? + needle.len();
+    let rest = &obj[at..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn field_u64(obj: &str, key: &str) -> Option<u64> {
+    field_raw(obj, key)?.parse().ok()
+}
+
+fn field_u128(obj: &str, key: &str) -> Option<u128> {
+    field_raw(obj, key)?.parse().ok()
+}
+
+fn field_f64(obj: &str, key: &str) -> Option<f64> {
+    field_raw(obj, key)?.parse().ok()
+}
+
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    Some(field_raw(obj, key)?.trim_matches('"').to_string())
+}
+
+/// Splits the top-level objects of the array stored under `key`.
+/// Depth-counting is sound here because our generator never emits
+/// braces or brackets inside string values (labels and hex digests).
+fn objects_in_array<'a>(doc: &'a str, key: &str) -> Vec<&'a str> {
+    let needle = format!("\"{key}\": [");
+    let Some(start) = doc.find(&needle).map(|i| i + needle.len()) else {
+        return Vec::new();
+    };
+    let bytes = &doc.as_bytes()[start..];
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => {
+                if depth == 0 {
+                    obj_start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&doc[start + obj_start..start + i + 1]);
+                }
+            }
+            b']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// One workload's overload row distilled for the trend file.
+struct TrendRow {
+    workload: String,
+    ops_per_sec: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    queue_wait: u128,
+    batch_stall: u128,
+    relay: u128,
+    service: u128,
+    tail_requests: u64,
+    tail_dominant: String,
+    slo_breaches: u64,
+    merged_digest: String,
+}
+
+fn overload_rows(fleet_doc: &str) -> Vec<TrendRow> {
+    let overload = field_u64(fleet_doc, "overload_interarrival_cycles").expect("overload field");
+    objects_in_array(fleet_doc, "sweep")
+        .into_iter()
+        .filter(|o| field_u64(o, "mean_interarrival_cycles") == Some(overload))
+        .map(|o| TrendRow {
+            workload: field_str(o, "workload").expect("workload"),
+            ops_per_sec: field_f64(o, "aggregate_ops_per_sec").expect("ops"),
+            p50: field_u64(o, "latency_p50_cycles").expect("p50"),
+            p99: field_u64(o, "latency_p99_cycles").expect("p99"),
+            p999: field_u64(o, "latency_p999_cycles").expect("p999"),
+            queue_wait: field_u128(o, "queue_wait_cycles").expect("queue_wait"),
+            batch_stall: field_u128(o, "batch_stall_cycles").expect("batch_stall"),
+            relay: field_u128(o, "relay_cycles").expect("relay"),
+            service: field_u128(o, "service_cycles").expect("service"),
+            tail_requests: field_u64(o, "tail_requests").expect("tail_requests"),
+            tail_dominant: field_str(o, "tail_dominant").expect("tail_dominant"),
+            slo_breaches: field_u64(o, "slo_breaches").expect("slo_breaches"),
+            merged_digest: field_str(o, "merged_digest").expect("digest"),
+        })
+        .collect()
+}
+
+fn row_json(r: &TrendRow) -> String {
+    use veil_testkit::fmt::{json_f64, json_field, json_object, json_str_field};
+    json_object(&[
+        json_str_field("workload", &r.workload),
+        json_field("aggregate_ops_per_sec", json_f64(r.ops_per_sec)),
+        json_field("latency_p50_cycles", r.p50),
+        json_field("latency_p99_cycles", r.p99),
+        json_field("latency_p999_cycles", r.p999),
+        json_field("queue_wait_cycles", r.queue_wait),
+        json_field("batch_stall_cycles", r.batch_stall),
+        json_field("relay_cycles", r.relay),
+        json_field("service_cycles", r.service),
+        json_field("tail_requests", r.tail_requests),
+        json_str_field("tail_dominant", &r.tail_dominant),
+        json_field("slo_breaches", r.slo_breaches),
+        json_str_field("merged_digest", &r.merged_digest),
+    ])
+}
+
+fn check_floors(rows: &[TrendRow]) {
+    let mut failed = false;
+    for (workload, floor) in OPS_FLOORS {
+        match rows.iter().find(|r| r.workload == workload) {
+            Some(r) => {
+                if r.ops_per_sec < floor {
+                    eprintln!(
+                        "FAIL {workload}: overload throughput {:.0} ops/s < floor {floor:.0}",
+                        r.ops_per_sec
+                    );
+                    failed = true;
+                }
+                if r.p999 < r.p99 {
+                    eprintln!("FAIL {workload}: p99.9 {} < p99 {} (tail collapsed)", r.p999, r.p99);
+                    failed = true;
+                }
+                let attributed = r.queue_wait + r.batch_stall + r.relay + r.service;
+                if attributed == 0 {
+                    eprintln!("FAIL {workload}: no cycles causally attributed");
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!("FAIL {workload}: missing from the latest trend entry");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("trend --check: all floors hold on {} workloads", rows.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let in_path = arg_value(&args, "--in").unwrap_or_else(|| "BENCH_FLEET.json".to_string());
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_TREND.json".to_string());
+    let check = args.iter().any(|a| a == "--check");
+
+    let fleet_doc =
+        std::fs::read_to_string(&in_path).unwrap_or_else(|e| panic!("cannot read {in_path}: {e}"));
+    let rows = overload_rows(&fleet_doc);
+    assert!(!rows.is_empty(), "{in_path} has no overload sweep entries");
+
+    let prior = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let mut entries: Vec<String> =
+        objects_in_array(&prior, "runs").into_iter().map(str::to_string).collect();
+    let run = entries.len() as u64 + 1;
+    let row_items: Vec<String> = rows.iter().map(row_json).collect();
+    {
+        use veil_testkit::fmt::{json_array, json_field, json_object, json_str_field};
+        let seed = field_u64(&fleet_doc, "seed").unwrap_or(0);
+        entries.push(json_object(&[
+            json_field("run", run),
+            json_field("seed", seed),
+            json_str_field("source", &in_path),
+            json_field("workloads", json_array(&row_items)),
+        ]));
+        let doc = json_object(&[json_field("runs", json_array(&entries))]);
+        std::fs::write(&out_path, format!("{doc}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    }
+    println!("appended run {run} ({} workloads) to {out_path}", rows.len());
+
+    if check {
+        check_floors(&rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{"seed": 7, "overload_interarrival_cycles": 250000, "sweep": [
+        {"workload": "http", "mean_interarrival_cycles": 250000,
+         "aggregate_ops_per_sec": 119952.5, "latency_p50_cycles": 10,
+         "latency_p99_cycles": 90, "latency_p999_cycles": 99,
+         "queue_wait_cycles": 1, "batch_stall_cycles": 2, "relay_cycles": 3,
+         "service_cycles": 4, "tail_requests": 5, "tail_dominant": "queue_wait",
+         "slo_breaches": 6, "merged_digest": "abc",
+         "top_offenders": [{"tenant": 1, "requests": 2, "breaches": 3, "worst_cycles": 4}]},
+        {"workload": "http", "mean_interarrival_cycles": 4000000,
+         "aggregate_ops_per_sec": 1.0, "latency_p50_cycles": 1,
+         "latency_p99_cycles": 1, "latency_p999_cycles": 1,
+         "queue_wait_cycles": 0, "batch_stall_cycles": 0, "relay_cycles": 0,
+         "service_cycles": 0, "tail_requests": 0, "tail_dominant": "service",
+         "slo_breaches": 0, "merged_digest": "def", "top_offenders": []}
+    ]}"#;
+
+    #[test]
+    fn overload_rows_pick_only_the_overload_point() {
+        let rows = overload_rows(DOC);
+        assert_eq!(rows.len(), 1, "the 4M-cycle point is not overload");
+        let r = &rows[0];
+        assert_eq!(r.workload, "http");
+        assert_eq!((r.p50, r.p99, r.p999), (10, 90, 99));
+        assert_eq!((r.queue_wait, r.batch_stall, r.relay, r.service), (1, 2, 3, 4));
+        assert_eq!(r.tail_dominant, "queue_wait");
+        assert_eq!(r.merged_digest, "abc");
+    }
+
+    #[test]
+    fn array_split_survives_nested_objects() {
+        let objs = objects_in_array(DOC, "sweep");
+        assert_eq!(objs.len(), 2, "nested top_offenders arrays must not split the outer");
+        assert!(objs[0].contains("\"tenant\": 1"));
+    }
+}

@@ -49,6 +49,7 @@ use veil_os::monitor::{MonRequest, MonResponse, MonitorChannel};
 use veil_snp::cost::CostCategory;
 use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::perms::Vmpl;
+use veil_trace::Event;
 
 /// Requests queued behind one future doorbell. Batches stay homogeneous
 /// in target domain: a mixed-target enqueue drains the old batch first.
@@ -80,6 +81,11 @@ pub struct VeilGate<S> {
     pending: BTreeMap<u32, PendingBatch>,
     requests: u64,
     deferred_errors: u64,
+    /// Causal request context `(tenant, req)` stamped onto ring-slot
+    /// enqueue events, so the trace can attribute ring residency to the
+    /// load-generator request that queued the work. `(0, 0)` outside
+    /// fleet runs.
+    req_context: (u64, u64),
     /// Drains observed in the current adaptation window.
     coalesce_win_flushes: u32,
     /// Requests those drains amortized (sum of drained depths).
@@ -103,6 +109,7 @@ impl<S: ServiceDispatch> VeilGate<S> {
             pending: BTreeMap::new(),
             requests: 0,
             deferred_errors: 0,
+            req_context: (0, 0),
             coalesce_win_flushes: 0,
             coalesce_win_reqs: 0,
             coalesce_bypass_left: 0,
@@ -129,6 +136,23 @@ impl<S: ServiceDispatch> VeilGate<S> {
     /// already been given up (fire-and-forget error sink).
     pub fn deferred_errors(&self) -> u64 {
         self.deferred_errors
+    }
+
+    /// Stamps the causal request context `(tenant, req)` carried by
+    /// subsequent ring-enqueue trace events (see [`Event::RingEnqueue`]).
+    /// The fleet load generator sets this before each dispatched request.
+    pub fn set_req_context(&mut self, tenant: u64, req: u64) {
+        self.req_context = (tenant, req);
+    }
+
+    /// Voids `count` deferred requests: bumps the fire-and-forget error
+    /// sink and emits the matching [`Event::DeferredError`], so the
+    /// failure is visible in the trace stream and (through the shared
+    /// event fold) in every exported metrics snapshot — not just in the
+    /// gate's internal counter.
+    fn void_deferred(&mut self, hv: &mut Hypervisor, vcpu: u32, count: u64) {
+        self.deferred_errors += count;
+        hv.machine.trace_event(Event::DeferredError { vcpu, count: count as u32 });
     }
 
     /// Queued-but-undrained requests for a VCPU.
@@ -329,6 +353,14 @@ impl<S: ServiceDispatch> MonitorChannel for VeilGate<S> {
             self.pending.entry(vcpu).or_insert_with(|| PendingBatch { target, reqs: Vec::new() });
         batch.target = target;
         batch.reqs.push(req);
+        let (tenant, ctx_req) = self.req_context;
+        hv.machine.trace_event(Event::RingEnqueue {
+            vcpu,
+            target: target.index() as u8,
+            depth: batch.reqs.len() as u32,
+            tenant,
+            req: ctx_req,
+        });
         if batch.reqs.len() as u32 == RING_SLOTS {
             self.flush(hv, vcpu)?;
         }
@@ -353,7 +385,7 @@ impl<S: ServiceDispatch> MonitorChannel for VeilGate<S> {
             }
             Err(e) => {
                 // The switch never happened; the whole batch is lost.
-                self.deferred_errors += batch.reqs.len() as u64;
+                self.void_deferred(hv, vcpu, batch.reqs.len() as u64);
                 Err(e)
             }
         };
@@ -423,12 +455,12 @@ impl<S: ServiceDispatch> VeilGate<S> {
                             let read_cost = hv.machine.cost().copy(req.wire_len());
                             hv.machine.charge(CostCategory::Other, read_cost);
                             if self.dispatch(hv, vcpu, req).is_err() {
-                                self.deferred_errors += 1;
+                                self.void_deferred(hv, vcpu, 1);
                             }
                         }
                         _ => {
                             // Corrupt slot: void this entry and the rest.
-                            self.deferred_errors += (batch.reqs.len() - idx) as u64;
+                            self.void_deferred(hv, vcpu, (batch.reqs.len() - idx) as u64);
                             break;
                         }
                     }
@@ -436,7 +468,7 @@ impl<S: ServiceDispatch> VeilGate<S> {
             }
             _ => {
                 // Hostile or corrupt occupancy: void the whole batch.
-                self.deferred_errors += batch.reqs.len() as u64;
+                self.void_deferred(hv, vcpu, batch.reqs.len() as u64);
             }
         }
         // Ack: the trusted side leaves the ring empty.
@@ -504,7 +536,7 @@ impl<S: ServiceDispatch> VeilGate<S> {
                     self.drain_entries(hv, vcpu, &batch)
                 }
                 Err(e) => {
-                    self.deferred_errors += batch.reqs.len() as u64;
+                    self.void_deferred(hv, vcpu, batch.reqs.len() as u64);
                     Err(e)
                 }
             };
@@ -881,6 +913,71 @@ mod tests {
         // The re-probe defers again.
         gate.request_deferred(&mut hv, 0, MonRequest::Pvalidate { gfn, validate }).unwrap();
         assert_eq!(gate.pending_depth(0), 1);
+        gate.flush(&mut hv, 0).unwrap();
+    }
+
+    #[test]
+    fn hostile_policy_batch_failure_visible_in_exported_snapshot() {
+        let (mut hv, mut gate) = booted_gate();
+        hv.machine.tracer_mut().set_enabled(true);
+        hv.machine.set_metrics_enabled(true);
+        gate.set_batching(true);
+        let base = gate.monitor.layout.shared.start + 4;
+        for i in 0..3 {
+            hv.machine.rmp_assign(base + i).unwrap();
+            gate.request_deferred(
+                &mut hv,
+                0,
+                MonRequest::Pvalidate { gfn: base + i, validate: true },
+            )
+            .unwrap();
+        }
+        // The host turns hostile before the doorbell: the switch never
+        // happens and the whole batch is voided.
+        hv.policy.refuse_switches = true;
+        assert!(gate.flush(&mut hv, 0).is_err());
+        assert_eq!(gate.deferred_errors(), 3);
+        // The loss is visible in the trace stream...
+        let records = hv.machine.tracer().snapshot();
+        assert!(
+            records.iter().any(|r| matches!(r.event, Event::DeferredError { count: 3, .. })),
+            "DeferredError record missing from trace"
+        );
+        // ...and the always-on counter fold agrees.
+        assert_eq!(hv.machine.tracer().counters().deferred_errors, 3);
+        // ...and in the exported metrics snapshot, on both wire formats.
+        let prom = veil_snp::metrics::export::prometheus(hv.machine.metrics(), hv.machine.spans());
+        assert!(prom.contains("veil_gate_deferred_errors_total{domain=\"all\"} 3"), "{prom}");
+        let json =
+            veil_snp::metrics::export::json_snapshot(hv.machine.metrics(), hv.machine.spans());
+        assert!(json.contains("gate_deferred_errors_total"), "{json}");
+    }
+
+    #[test]
+    fn ring_enqueue_events_carry_request_context() {
+        let (mut hv, mut gate) = booted_gate();
+        hv.machine.tracer_mut().set_enabled(true);
+        gate.set_batching(true);
+        let base = gate.monitor.layout.shared.start + 4;
+        gate.set_req_context(7, 42);
+        for i in 0..2 {
+            hv.machine.rmp_assign(base + i).unwrap();
+            gate.request_deferred(
+                &mut hv,
+                0,
+                MonRequest::Pvalidate { gfn: base + i, validate: true },
+            )
+            .unwrap();
+        }
+        let records = hv.machine.tracer().snapshot();
+        let depths: Vec<u32> = records
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::RingEnqueue { depth, tenant: 7, req: 42, .. } => Some(depth),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![1, 2], "ring occupancy stamped per enqueue");
         gate.flush(&mut hv, 0).unwrap();
     }
 

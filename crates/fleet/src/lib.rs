@@ -25,7 +25,12 @@
 //!   steal order, results in submission order);
 //! * [`shard`] — one shard's virtual-time event loop and
 //!   [`shard::ShardReport`];
-//! * [`report`] — fleet execution and the order-fixed merge.
+//! * [`report`] — fleet execution and the order-fixed merge, including
+//!   critical-path attribution and the above-p99 tail breakdown;
+//! * [`slo`] — per-tenant SLO ledgers: bounded latency sketches,
+//!   burn-rate counters, deterministic top-K offenders;
+//! * [`top`] — the `veiltop` console renderer over veilstat
+//!   gate-service snapshots.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,10 +38,14 @@
 pub mod report;
 pub mod sched;
 pub mod shard;
+pub mod slo;
+pub mod top;
 
-pub use report::{run_fleet, FleetReport};
+pub use report::{run_fleet, FleetReport, TailAttribution};
 pub use sched::{run_tasks, run_tasks_with_stats, SchedStats};
 pub use shard::{run_shard, ShardReport};
+pub use slo::{Offender, SloReport, TenantSlo};
+pub use veil_snp::trace::{Attribution, Component, ReqPath};
 pub use veil_workloads::tenant::TenantKind;
 
 /// Everything that parameterizes one fleet run. Two equal configs

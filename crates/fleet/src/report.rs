@@ -9,10 +9,12 @@
 //! determinism witness, pinned by `tests/fleet_determinism.rs`.
 
 use crate::shard::{run_shard, ShardReport};
+use crate::slo::SloReport;
 use crate::{sched, FleetConfig};
 use veil_crypto::sha256::{hex, Sha256};
 use veil_metrics::Histogram;
 use veil_snp::cost::CLOCK_HZ;
+use veil_snp::trace::{Attribution, Component};
 
 /// The merged result of one fleet run.
 #[derive(Debug, Clone)]
@@ -34,6 +36,49 @@ pub struct FleetReport {
     /// Scheduler steal count (diagnostic only; excluded from the digest
     /// because it legitimately varies with worker count and seed).
     pub steals: u64,
+    /// Fleet-wide critical-path attribution over every request.
+    pub attribution: Attribution,
+    /// Fleet-wide per-tenant SLO ledgers (merged in shard order).
+    pub slo: SloReport,
+    /// Where the latency tail comes from: the above-p99 requests broken
+    /// down by dominant critical-path component.
+    pub tail: TailAttribution,
+}
+
+/// The latency tail attributed to critical-path components: which part
+/// of the pipeline the worst requests spent their cycles in.
+#[derive(Debug, Clone, Default)]
+pub struct TailAttribution {
+    /// The tail threshold: interpolated p99 of the merged latency
+    /// histogram, in cycles.
+    pub threshold_cycles: u64,
+    /// Requests strictly above the threshold.
+    pub requests: u64,
+    /// How many tail requests each component dominates, indexed in
+    /// [`Component::ALL`] order.
+    pub dominant: [u64; 4],
+    /// Per-component cycle totals over the tail requests only.
+    pub attribution: Attribution,
+}
+
+impl TailAttribution {
+    /// Tail requests whose critical path `component` dominates.
+    pub fn dominated_by(&self, component: Component) -> u64 {
+        let idx = Component::ALL.iter().position(|&c| c == component).expect("component");
+        self.dominant[idx]
+    }
+
+    /// The component dominating the most tail requests (ties break in
+    /// [`Component::ALL`] order).
+    pub fn dominant_component(&self) -> Component {
+        let mut best = 0usize;
+        for (i, &n) in self.dominant.iter().enumerate() {
+            if n > self.dominant[best] {
+                best = i;
+            }
+        }
+        Component::ALL[best]
+    }
 }
 
 impl FleetReport {
@@ -45,6 +90,24 @@ impl FleetReport {
     /// Tenants fully served per virtual second.
     pub fn tenants_per_sec(&self) -> f64 {
         f64::from(self.total_tenants) * CLOCK_HZ as f64 / self.makespan_cycles.max(1) as f64
+    }
+
+    /// The critical-path attribution as folded-stack lines (`flamegraph
+    /// --fromfile` format: `frame;frame value`). Two stacks per
+    /// component: one over all requests, one over the above-p99 tail.
+    pub fn flame_folded(&self, root: &str) -> String {
+        let mut out = String::new();
+        for c in Component::ALL {
+            out.push_str(&format!("{root};all;{} {}\n", c.label(), self.attribution.component(c)));
+        }
+        for c in Component::ALL {
+            out.push_str(&format!(
+                "{root};tail_p99;{} {}\n",
+                c.label(),
+                self.tail.attribution.component(c)
+            ));
+        }
+        out
     }
 }
 
@@ -71,6 +134,8 @@ fn merge(reports: Vec<ShardReport>, steals: u64) -> FleetReport {
     let mut total_ops = 0u64;
     let mut total_tenants = 0u32;
     let mut makespan_cycles = 0u64;
+    let mut attribution = Attribution::default();
+    let mut slo = SloReport::new(reports.first().map_or(0, |r| r.slo.slo_cycles));
     for r in &reports {
         latency.merge(&r.latency);
         digest.update(&r.shard.to_le_bytes());
@@ -79,7 +144,10 @@ fn merge(reports: Vec<ShardReport>, steals: u64) -> FleetReport {
         total_ops += r.ops;
         total_tenants += r.tenants;
         makespan_cycles = makespan_cycles.max(r.makespan_cycles);
+        attribution.merge(&r.attribution);
+        slo.merge(&r.slo);
     }
+    let tail = tail_attribution(&reports, &latency);
     FleetReport {
         shards: reports,
         latency,
@@ -88,7 +156,31 @@ fn merge(reports: Vec<ShardReport>, steals: u64) -> FleetReport {
         total_tenants,
         makespan_cycles,
         steals,
+        attribution,
+        slo,
+        tail,
     }
+}
+
+/// Attributes the latency tail: every request whose end-to-end latency
+/// exceeds the merged interpolated p99 is binned under its dominant
+/// critical-path component. Pure fold over per-shard paths, so the
+/// result is worker-count invariant like everything else in the merge.
+fn tail_attribution(reports: &[ShardReport], latency: &Histogram) -> TailAttribution {
+    let threshold = latency.percentile_interp(99.0);
+    let mut tail = TailAttribution { threshold_cycles: threshold, ..TailAttribution::default() };
+    for r in reports {
+        for p in &r.paths {
+            if p.end_to_end() > threshold {
+                tail.requests += 1;
+                let idx =
+                    Component::ALL.iter().position(|&c| c == p.dominant()).expect("component");
+                tail.dominant[idx] += 1;
+                tail.attribution.add_path(p);
+            }
+        }
+    }
+    tail
 }
 
 #[cfg(test)]

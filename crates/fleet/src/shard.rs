@@ -27,9 +27,12 @@
 //! distribution. Wall-clock never enters the loop; a given seed produces
 //! the same makespan, digests, and histograms at any worker count.
 
+use crate::slo::SloReport;
 use crate::FleetConfig;
 use veil_metrics::{Histogram, Key, DOMAIN_NONE};
+use veil_os::monitor::{MonRequest, MonResponse, MonitorChannel};
 use veil_services::CvmBuilder;
+use veil_snp::trace::{Attribution, CausalFold, Event, ReqPath};
 use veil_testkit::rng::{splitmix64, TestRng};
 use veil_workloads::fnv1a;
 use veil_workloads::tenant::TenantSession;
@@ -67,6 +70,19 @@ pub struct ShardReport {
     pub metrics_snapshot: String,
     /// SHA-256 of [`ShardReport::metrics_snapshot`].
     pub metrics_digest_hex: String,
+    /// Every request's reconstructed critical path, in completion order
+    /// (`ReqId = (shard, tenant, seq)`; the shard is this report).
+    pub paths: Vec<ReqPath>,
+    /// Per-component cycle totals over [`ShardReport::paths`].
+    pub attribution: Attribution,
+    /// Per-tenant SLO ledgers (sketches, breaches, top-K source).
+    pub slo: SloReport,
+    /// `ReqComplete` records the causal fold could not match to an open
+    /// dispatch window (must stay 0; nonzero means lost propagation).
+    pub unmatched_completes: u64,
+    /// The JSON metrics snapshot served *by the veilstat gate service*
+    /// over the full §4 request path — what `veiltop` renders.
+    pub stat_snapshot: String,
 }
 
 // Reports flow back across the scheduler's thread boundary.
@@ -158,11 +174,32 @@ pub fn run_shard(cfg: &FleetConfig, shard: u32) -> ShardReport {
     let doorbells_before = cvm.hv.stats().doorbells;
     let requests_before = cvm.gate.gate_requests();
 
+    // The causal fold is driven *incrementally* off the ring buffer
+    // (between requests, while every record since the last drain is
+    // still resident) so long runs that wrap the ring lose no records.
+    let mut fold = CausalFold::new();
+    let mut folded_seq = 0u64;
+    for r in cvm.hv.machine.tracer().records_since(folded_seq) {
+        fold.observe(r);
+    }
+    folded_seq = cvm.hv.machine.tracer().next_seq();
+
     let mut vclock = 0u64;
     let mut service_cycles = 0u64;
     let mut ops = 0u64;
+    let mut slo = SloReport::new(cfg.kind.slo_cycles());
     let latency_key = Key::new("fleet_latency_cycles", DOMAIN_NONE, cfg.kind.label());
     for ev in &events {
+        let start = ev.arrival.max(vclock);
+        // Stamp the request id into the gate (ring slots it occupies
+        // carry it) and open the dispatch window in the trace stream.
+        cvm.gate.set_req_context(ev.tenant, ev.k);
+        cvm.hv.machine.trace_event(Event::ReqDispatch {
+            tenant: ev.tenant,
+            req: ev.k,
+            arrival: ev.arrival,
+            start,
+        });
         let before = cvm.hv.machine.cycles().total();
         {
             let mut sys = cvm.sys(pid);
@@ -170,12 +207,18 @@ pub fn run_shard(cfg: &FleetConfig, shard: u32) -> ShardReport {
             session.run_request(&mut sys, ev.k).expect("request");
         }
         let service = cvm.hv.machine.cycles().total() - before;
-        let start = ev.arrival.max(vclock);
+        cvm.hv.machine.trace_event(Event::ReqComplete { tenant: ev.tenant, req: ev.k });
         let completion = start + service;
         vclock = completion;
         service_cycles += service;
         ops += 1;
-        cvm.hv.machine.metrics_mut().record_hist(latency_key, completion - ev.arrival);
+        let latency = completion - ev.arrival;
+        cvm.hv.machine.metrics_mut().record_hist(latency_key, latency);
+        slo.observe(ev.tenant, latency);
+        for r in cvm.hv.machine.tracer().records_since(folded_seq) {
+            fold.observe(r);
+        }
+        folded_seq = cvm.hv.machine.tracer().next_seq();
     }
 
     // Teardown: close every session, then drain the gate ring so the
@@ -190,6 +233,17 @@ pub fn run_shard(cfg: &FleetConfig, shard: u32) -> ShardReport {
         bytes += session.bytes;
     }
     cvm.flush_gate().expect("flush");
+    for r in cvm.hv.machine.tracer().records_since(folded_seq) {
+        fold.observe(r);
+    }
+
+    // Fetch the metrics snapshot through the veilstat *gate service*:
+    // the untrusted kernel asks, the trusted side answers over the full
+    // §4 request path. This is the observability plane observing itself.
+    let stat_snapshot = match cvm.gate.request(&mut cvm.hv, 0, MonRequest::StatSnapshot) {
+        Ok(MonResponse::Bytes(bytes)) => String::from_utf8(bytes).expect("snapshot utf8"),
+        other => panic!("veilstat snapshot failed: {other:?}"),
+    };
 
     ShardReport {
         shard,
@@ -207,6 +261,11 @@ pub fn run_shard(cfg: &FleetConfig, shard: u32) -> ShardReport {
         trace_digest_hex: cvm.trace_digest_hex(),
         metrics_snapshot: cvm.metrics_snapshot(),
         metrics_digest_hex: cvm.metrics_digest_hex(),
+        attribution: fold.attribution(),
+        unmatched_completes: fold.unmatched_completes,
+        paths: fold.paths().to_vec(),
+        slo,
+        stat_snapshot,
     }
 }
 
@@ -261,6 +320,34 @@ mod tests {
         let mut cfg2 = small_cfg();
         cfg2.seed ^= 1;
         assert_ne!(arrival_schedule(&cfg2, 0), a);
+    }
+
+    #[test]
+    fn critical_paths_decompose_latency_exactly() {
+        let cfg = small_cfg();
+        let r = run_shard(&cfg, 0);
+        assert_eq!(r.paths.len() as u64, r.ops, "every request yields a path");
+        assert_eq!(r.unmatched_completes, 0);
+        for p in &r.paths {
+            assert_eq!(
+                p.queue_wait + p.batch_stall + p.relay + p.service,
+                p.end_to_end(),
+                "tenant {} req {}: components must partition e2e exactly",
+                p.tenant,
+                p.req
+            );
+        }
+        // The attribution's total is the histogram's total latency: the
+        // decomposition loses nothing against the latency the fleet
+        // already reports.
+        assert_eq!(r.attribution.total(), r.latency.sum());
+        assert_eq!(r.attribution.requests, r.ops);
+        assert_eq!(r.slo.requests(), r.ops);
+        // The batched gate ran, so some cycles must be attributed to
+        // relay (doorbell drains are hypervisor-relayed).
+        assert!(r.attribution.relay > 0, "relay cycles must show up");
+        // The gate-served veilstat snapshot carries this shard's id.
+        assert!(r.stat_snapshot.contains("\"fleet_shard\""), "veilstat snapshot");
     }
 
     #[test]

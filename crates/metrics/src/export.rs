@@ -114,14 +114,14 @@ fn push_series(
     out.push('"');
     if !op.is_empty() {
         out.push_str(",op=\"");
-        out.push_str(op);
+        out.push_str(&label_escape(op));
         out.push('"');
     }
     for (k, v) in extra {
         out.push(',');
         out.push_str(k);
         out.push_str("=\"");
-        out.push_str(v);
+        out.push_str(&label_escape(v));
         out.push('"');
     }
     out.push_str("} ");
@@ -135,7 +135,7 @@ fn push_span(out: &mut String, metric: &str, path: &str, domain: u8, value: u64)
     out.push_str("{domain=\"");
     out.push_str(domain_label(domain));
     out.push_str("\",path=\"");
-    out.push_str(&json_escape(path));
+    out.push_str(&label_escape(path));
     out.push_str("\"} ");
     out.push_str(&value.to_string());
     out.push('\n');
@@ -153,7 +153,7 @@ pub fn json_snapshot(registry: &MetricsRegistry, spans: &SpanProfiler) -> String
             "{{\"metric\": \"{}\", \"domain\": \"{}\", \"op\": \"{}\", \"value\": {}}}",
             key.metric,
             domain_label(key.domain),
-            key.op,
+            json_escape(key.op),
             value
         ));
     }
@@ -165,7 +165,7 @@ pub fn json_snapshot(registry: &MetricsRegistry, spans: &SpanProfiler) -> String
             "{{\"metric\": \"{}\", \"domain\": \"{}\", \"op\": \"{}\", \"value\": {}}}",
             key.metric,
             domain_label(key.domain),
-            key.op,
+            json_escape(key.op),
             value
         ));
     }
@@ -177,7 +177,7 @@ pub fn json_snapshot(registry: &MetricsRegistry, spans: &SpanProfiler) -> String
             "{{\"metric\": \"{}\", \"domain\": \"{}\", \"op\": \"{}\", {}}}",
             key.metric,
             domain_label(key.domain),
-            key.op,
+            json_escape(key.op),
             hist_json(hist)
         ));
     }
@@ -232,6 +232,23 @@ fn sep(out: &mut String, first: &mut bool) {
     } else {
         out.push_str(", ");
     }
+}
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and newline are the only characters with
+/// escape sequences; everything else passes through verbatim. Without
+/// this a hostile workload/op label (`evil"} 1`) would forge series.
+pub fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn json_escape(s: &str) -> String {
@@ -341,5 +358,39 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn label_escape_handles_specials() {
+        assert_eq!(label_escape("plain"), "plain");
+        assert_eq!(label_escape("a\"b"), "a\\\"b");
+        assert_eq!(label_escape("a\\b"), "a\\\\b");
+        assert_eq!(label_escape("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn hostile_label_values_cannot_forge_series() {
+        // An op label built to close the series and inject a fake one.
+        let hostile: &'static str = "evil\"} 1\nveil_forged_total{domain=\"all\"";
+        let mut reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.inc_counter(Key::new("tenant_requests_total", DOMAIN_NONE, hostile), 1);
+        reg.record_hist(Key::new("tenant_latency", DOMAIN_NONE, hostile), 7135);
+        let text = prometheus(&reg, &SpanProfiler::new());
+        assert!(
+            !text.lines().any(|l| l.starts_with("veil_forged_total")),
+            "injected series must not appear:\n{text}"
+        );
+        // Every non-comment line still parses as `name{labels} value`,
+        // with the hostile bytes confined to an escaped label value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("series and value");
+            assert!(series.starts_with("veil_") && series.ends_with('}'), "{line}");
+            assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "{line}");
+        }
+        assert!(text.contains("evil\\\"} 1\\nveil_forged_total"), "escaped value preserved");
+        // The JSON snapshot stays parseable too: the quote is escaped.
+        let json = json_snapshot(&reg, &SpanProfiler::new());
+        assert!(json.contains("evil\\\"} 1\\nveil_forged_total"), "{json}");
     }
 }

@@ -158,6 +158,50 @@ impl Histogram {
         bucket_lower(BUCKETS - 1)
     }
 
+    /// Nearest-rank percentile with linear interpolation inside the
+    /// bucket holding the ranked sample.
+    ///
+    /// [`Histogram::percentile`] quantizes every rank in a bucket to the
+    /// bucket's lower bound, so with sparse high-end counts p99 and p999
+    /// collapse onto the same value (one √2-wide bucket holds the whole
+    /// tail). This variant spreads the bucket's `c` samples evenly over
+    /// its clamped `[lo, hi]` span and returns the value at the rank's
+    /// position, so distinct ranks in the same bucket yield distinct,
+    /// strictly rank-monotone values whenever the span allows. Exact
+    /// `min`/`max` clamp the first and last occupied buckets, so the
+    /// result never leaves the observed sample range.
+    ///
+    /// Kept separate from [`Histogram::percentile`] on purpose: that
+    /// convention feeds digest-pinned exports and golden snapshots.
+    pub fn percentile_interp(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = nearest_rank(self.count as usize, p) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += c;
+            if seen >= rank {
+                let lo = bucket_lower(i).max(self.min);
+                let hi =
+                    if i + 1 < BUCKETS { bucket_lower(i + 1) - 1 } else { u64::MAX }.min(self.max);
+                if hi <= lo {
+                    return lo;
+                }
+                // Rank positions 1..=c map linearly onto (lo, hi]:
+                // position c lands exactly on hi, earlier positions step
+                // down by the even per-sample spacing.
+                let pos = rank - before;
+                return lo + ((hi - lo) as u128 * pos as u128 / c as u128) as u64;
+            }
+        }
+        self.max
+    }
+
     /// Merges `other` into `self`. Merge is associative and commutative:
     /// bucket counts, count, and sum add; min/max take the extremum.
     pub fn merge(&mut self, other: &Histogram) {
@@ -264,6 +308,49 @@ mod tests {
         // The true p50 sample is 500; quantization stays within √2 below.
         let p50 = h.percentile(50.0);
         assert!(p50 <= 500 && 500 < (p50 as f64 * std::f64::consts::SQRT_2) as u64 + 2);
+    }
+
+    #[test]
+    fn interp_separates_tail_percentiles_on_skewed_distribution() {
+        // 1960 fast requests plus a 40-sample tail that all lands in one
+        // √2-wide bucket — the BENCH_FLEET degenerate case: nearest-rank
+        // quantization collapses p99 and p999 onto the bucket lower
+        // bound, while interpolation keeps them distinct and ordered.
+        let mut h = Histogram::new();
+        for _ in 0..1960 {
+            h.record(1000);
+        }
+        for i in 0..40u64 {
+            h.record(17_000_000 + i * 150_000); // 17.0M..22.85M, one bucket
+        }
+        assert_eq!(
+            h.percentile(99.0),
+            h.percentile(99.9),
+            "plain nearest-rank collapses the tail (the bug under test)"
+        );
+        let p99 = h.percentile_interp(99.0);
+        let p999 = h.percentile_interp(99.9);
+        assert!(p999 > p99, "interpolated p999 {p999} must exceed p99 {p99}");
+        assert!(p99 >= 17_000_000 && p999 <= h.max(), "stay inside the observed range");
+    }
+
+    #[test]
+    fn interp_is_rank_monotone_and_range_clamped() {
+        let mut h = Histogram::new();
+        for v in [10u64, 500, 7135, 7200, 7300, 90_000, 90_001] {
+            h.record(v);
+        }
+        let ps = [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0];
+        let vals: Vec<u64> = ps.iter().map(|&p| h.percentile_interp(p)).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "monotone in rank: {vals:?}");
+        assert!(vals.iter().all(|&v| v >= h.min() && v <= h.max()), "{vals:?}");
+        assert_eq!(h.percentile_interp(100.0), h.max(), "top rank hits the exact max");
+        // Empty and single-sample degenerate cases.
+        assert_eq!(Histogram::new().percentile_interp(50.0), 0);
+        let mut one = Histogram::new();
+        one.record(7135);
+        assert_eq!(one.percentile_interp(50.0), 7135);
+        assert_eq!(one.percentile_interp(99.9), 7135);
     }
 
     #[test]

@@ -160,6 +160,15 @@ impl MetricsRegistry {
             Event::Doorbell { target, depth, .. } => {
                 self.record_hist(Key::new("ring_depth", target, "doorbell"), depth as u64);
             }
+            Event::RingEnqueue { target, depth, .. } => {
+                self.record_hist(Key::new("ring_depth", target, "enqueue"), depth as u64);
+            }
+            Event::DeferredError { count, .. } => {
+                self.inc_counter(
+                    Key::new("gate_deferred_errors_total", DOMAIN_NONE, ""),
+                    u64::from(count),
+                );
+            }
             _ => {}
         }
         self.set_gauge(Key::new("cycles_total", DOMAIN_NONE, ""), cycles);
@@ -224,9 +233,13 @@ fn event_labels(event: &Event) -> (u8, &'static str) {
         Event::SyscallRedirect { .. } => 2,
         Event::AuditAppend { .. } => 3,
         Event::Doorbell { target, .. } => target,
-        Event::RmpTransition { .. } | Event::ChannelHandshake { .. } | Event::ModuleLoad { .. } => {
-            DOMAIN_NONE
-        }
+        Event::RingEnqueue { target, .. } => target,
+        Event::RmpTransition { .. }
+        | Event::ChannelHandshake { .. }
+        | Event::ModuleLoad { .. }
+        | Event::ReqDispatch { .. }
+        | Event::ReqComplete { .. }
+        | Event::DeferredError { .. } => DOMAIN_NONE,
     };
     (domain, event.name())
 }

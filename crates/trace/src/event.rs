@@ -151,6 +151,56 @@ pub enum Event {
         /// Queued requests in the ring at ring time.
         depth: u32,
     },
+    /// A load-generator request was dispatched to the CVM. Together with
+    /// [`Event::ReqComplete`] this brackets one causal request window:
+    /// every event between the pair belongs to the request's critical
+    /// path. The request id is `(tenant, req)`; the owning shard is
+    /// stream metadata (`Tracer::shard`), never part of the encoding.
+    ReqDispatch {
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// Per-tenant request sequence number.
+        req: u64,
+        /// Virtual arrival time of the request (open-loop load clock).
+        arrival: u64,
+        /// Virtual dispatch time: `max(arrival, vclock)` — the queue-wait
+        /// component is `start - arrival`, accrued before the CVM sees
+        /// the request.
+        start: u64,
+    },
+    /// The request dispatched as `(tenant, req)` completed; closes the
+    /// causal window opened by the matching [`Event::ReqDispatch`].
+    ReqComplete {
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// Per-tenant request sequence number.
+        req: u64,
+    },
+    /// A fire-and-forget gate request was queued into the per-VCPU gate
+    /// ring instead of switching immediately (batched gate path). Cycles
+    /// elapsing while the ring is occupied are batch-stall time for the
+    /// open request window, until the draining [`Event::Doorbell`].
+    RingEnqueue {
+        /// VCPU whose ring received the entry.
+        vcpu: u32,
+        /// Trusted domain the entry targets.
+        target: u8,
+        /// Ring occupancy after the push.
+        depth: u32,
+        /// Tenant of the causal request context (0 outside fleet runs).
+        tenant: u64,
+        /// Request sequence of the causal context (0 outside fleet runs).
+        req: u64,
+    },
+    /// Deferred (fire-and-forget) gate requests were voided after their
+    /// responses had already been given up: a refused doorbell switch, a
+    /// corrupt ring slot, or a failed trusted-side dispatch.
+    DeferredError {
+        /// VCPU whose batch was voided.
+        vcpu: u32,
+        /// Requests voided by this failure.
+        count: u32,
+    },
 }
 
 impl Event {
@@ -169,6 +219,10 @@ impl Event {
             Event::ChannelHandshake { .. } => 9,
             Event::ModuleLoad { .. } => 10,
             Event::Doorbell { .. } => 11,
+            Event::ReqDispatch { .. } => 12,
+            Event::ReqComplete { .. } => 13,
+            Event::RingEnqueue { .. } => 14,
+            Event::DeferredError { .. } => 15,
         }
     }
 
@@ -187,6 +241,10 @@ impl Event {
             Event::ChannelHandshake { .. } => "channel_handshake",
             Event::ModuleLoad { .. } => "module_load",
             Event::Doorbell { .. } => "doorbell",
+            Event::ReqDispatch { .. } => "req_dispatch",
+            Event::ReqComplete { .. } => "req_complete",
+            Event::RingEnqueue { .. } => "ring_enqueue",
+            Event::DeferredError { .. } => "deferred_error",
         }
     }
 
@@ -255,6 +313,27 @@ impl Event {
                 buf.push(target);
                 buf.extend_from_slice(&depth.to_le_bytes());
             }
+            Event::ReqDispatch { tenant, req, arrival, start } => {
+                buf.extend_from_slice(&tenant.to_le_bytes());
+                buf.extend_from_slice(&req.to_le_bytes());
+                buf.extend_from_slice(&arrival.to_le_bytes());
+                buf.extend_from_slice(&start.to_le_bytes());
+            }
+            Event::ReqComplete { tenant, req } => {
+                buf.extend_from_slice(&tenant.to_le_bytes());
+                buf.extend_from_slice(&req.to_le_bytes());
+            }
+            Event::RingEnqueue { vcpu, target, depth, tenant, req } => {
+                buf.extend_from_slice(&vcpu.to_le_bytes());
+                buf.push(target);
+                buf.extend_from_slice(&depth.to_le_bytes());
+                buf.extend_from_slice(&tenant.to_le_bytes());
+                buf.extend_from_slice(&req.to_le_bytes());
+            }
+            Event::DeferredError { vcpu, count } => {
+                buf.extend_from_slice(&vcpu.to_le_bytes());
+                buf.extend_from_slice(&count.to_le_bytes());
+            }
         }
     }
 
@@ -317,6 +396,25 @@ impl Event {
                 ("target", target.to_string()),
                 ("depth", depth.to_string()),
             ],
+            Event::ReqDispatch { tenant, req, arrival, start } => vec![
+                ("tenant", tenant.to_string()),
+                ("req", req.to_string()),
+                ("arrival", arrival.to_string()),
+                ("start", start.to_string()),
+            ],
+            Event::ReqComplete { tenant, req } => {
+                vec![("tenant", tenant.to_string()), ("req", req.to_string())]
+            }
+            Event::RingEnqueue { vcpu, target, depth, tenant, req } => vec![
+                ("vcpu", vcpu.to_string()),
+                ("target", target.to_string()),
+                ("depth", depth.to_string()),
+                ("tenant", tenant.to_string()),
+                ("req", req.to_string()),
+            ],
+            Event::DeferredError { vcpu, count } => {
+                vec![("vcpu", vcpu.to_string()), ("count", count.to_string())]
+            }
         }
     }
 }
@@ -346,12 +444,16 @@ mod tests {
             Event::ChannelHandshake { step: 0 },
             Event::ModuleLoad { pages: 4, protected: true, load: true },
             Event::Doorbell { vcpu: 0, target: 1, depth: 3 },
+            Event::ReqDispatch { tenant: 1, req: 2, arrival: 10, start: 20 },
+            Event::ReqComplete { tenant: 1, req: 2 },
+            Event::RingEnqueue { vcpu: 0, target: 1, depth: 4, tenant: 1, req: 2 },
+            Event::DeferredError { vcpu: 0, count: 3 },
         ];
         let mut tags: Vec<u8> = events.iter().map(Event::tag).collect();
         tags.sort_unstable();
         tags.dedup();
         assert_eq!(tags.len(), events.len(), "duplicate tag byte");
-        assert_eq!(tags, (0..12).collect::<Vec<u8>>(), "tags must stay dense and stable");
+        assert_eq!(tags, (0..16).collect::<Vec<u8>>(), "tags must stay dense and stable");
     }
 
     #[test]

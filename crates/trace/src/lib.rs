@@ -16,6 +16,9 @@
 //!   never drift from reality), while the ring buffer and the running
 //!   SHA-256 [`Tracer::digest`] are runtime-gated and record nothing when
 //!   tracing is disabled.
+//! * [`CausalFold`] — the causal request-tracing fold: reconstructs exact
+//!   per-request critical paths (queue-wait / batch-stall / relay /
+//!   service) from `ReqDispatch`/`ReqComplete` windows in the stream.
 //! * [`invariants`] — the trace-invariant checker: domain switches are
 //!   bracketed by exit/enter pairs, `RMPADJUST` never escalates, sequence
 //!   numbers and timestamps are monotonic.
@@ -28,11 +31,13 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod causal;
 mod event;
 mod invariants_impl;
 mod tracer;
 
 pub use cache::CacheCounters;
+pub use causal::{Attribution, CausalFold, Component, ReqPath};
 pub use event::{exit_code, Event, VMPL_UNKNOWN};
 pub use tracer::{EventCounters, Record, Tracer, DEFAULT_RING_CAPACITY};
 

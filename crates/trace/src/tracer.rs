@@ -70,6 +70,15 @@ pub struct EventCounters {
     pub module_loads: u64,
     /// Doorbell rings (batched gate-ring drains).
     pub doorbells: u64,
+    /// Load-generator requests dispatched (causal windows opened).
+    pub req_dispatches: u64,
+    /// Load-generator requests completed (causal windows closed).
+    pub req_completes: u64,
+    /// Fire-and-forget gate requests queued into a gate ring.
+    pub ring_enqueues: u64,
+    /// Deferred gate requests voided after their response was given up
+    /// (sum of per-failure counts).
+    pub deferred_errors: u64,
     /// Fold state: a page-state-change `VMGEXIT` is open and its RMP
     /// transition has not been observed yet.
     in_psc: bool,
@@ -125,6 +134,10 @@ impl EventCounters {
             Event::ChannelHandshake { .. } => self.handshake_steps += 1,
             Event::ModuleLoad { .. } => self.module_loads += 1,
             Event::Doorbell { .. } => self.doorbells += 1,
+            Event::ReqDispatch { .. } => self.req_dispatches += 1,
+            Event::ReqComplete { .. } => self.req_completes += 1,
+            Event::RingEnqueue { .. } => self.ring_enqueues += 1,
+            Event::DeferredError { count, .. } => self.deferred_errors += u64::from(count),
         }
     }
 
@@ -276,6 +289,21 @@ impl Tracer {
     /// Iterates the ring in stream order.
     pub fn records(&self) -> impl Iterator<Item = &Record> {
         self.ring.iter()
+    }
+
+    /// Iterates the ring records with `seq >= from`, in stream order.
+    /// Incremental consumers (the causal fold) call this between
+    /// batches of work so the ring never has to hold the whole run —
+    /// only the records emitted since the last visit.
+    pub fn records_since(&self, from: u64) -> impl Iterator<Item = &Record> {
+        let front = self.ring.front().map_or(self.seq, |r| r.seq);
+        self.ring.iter().skip(from.saturating_sub(front) as usize)
+    }
+
+    /// Sequence number the next recorded event will get (equivalently,
+    /// the number of events recorded since tracing was enabled).
+    pub fn next_seq(&self) -> u64 {
+        self.seq
     }
 
     /// Copies the ring into a `Vec` (stream order) for checking/export.

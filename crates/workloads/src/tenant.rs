@@ -65,6 +65,15 @@ impl TenantKind {
             TenantKind::Memcached => 60_000,
         }
     }
+
+    /// Per-request end-to-end latency SLO for this profile, in model
+    /// cycles. Calibrated at 20x the base service compute: an unloaded
+    /// shard (service + a couple of relays) sits far under it, while
+    /// open-loop queueing under overload blows through it — so SLO
+    /// breach counts measure *load*, not workload identity.
+    pub fn slo_cycles(self) -> u64 {
+        self.base_cycles() * 20
+    }
 }
 
 /// A tenant's long-lived descriptors plus its running functional totals.

@@ -61,6 +61,9 @@ fn masked(mut c: EventCounters) -> EventCounters {
     c.vmenters = 0;
     c.domain_switches = 0;
     c.doorbells = 0;
+    // Ring enqueues are the deferral bookkeeping itself: the serial
+    // protocol never enqueues, so the counter is plumbing, not payload.
+    c.ring_enqueues = 0;
     c
 }
 

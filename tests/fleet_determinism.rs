@@ -77,6 +77,63 @@ fn shard_reports_describe_real_work() {
 }
 
 #[test]
+fn req_propagation_invariants_hold() {
+    // ISSUE 9: every `ReqDispatch` in a shard's stream has exactly one
+    // matching `ReqComplete`, and the causal decomposition partitions
+    // each request's end-to-end latency with no residual.
+    let r = run_fleet(&small_fleet(TenantKind::Kvstore, 0x1d, 2));
+    assert_eq!(r.attribution.requests, r.total_ops, "every request causally attributed");
+    for s in &r.shards {
+        assert_eq!(s.paths.len() as u64, s.ops, "shard {}: a path per request", s.shard);
+        assert_eq!(s.unmatched_completes, 0, "shard {}: orphaned completion", s.shard);
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &s.paths {
+            assert!(
+                seen.insert((p.tenant, p.req)),
+                "shard {}: duplicate ReqId ({}, {})",
+                s.shard,
+                p.tenant,
+                p.req
+            );
+            assert_eq!(
+                p.queue_wait + p.batch_stall + p.relay + p.service,
+                p.end_to_end(),
+                "shard {}: tenant {} req {}: components must sum to e2e exactly",
+                s.shard,
+                p.tenant,
+                p.req
+            );
+        }
+        // Shard-level: the attribution accounts for every cycle the
+        // latency histogram recorded, exactly.
+        assert_eq!(s.attribution.total(), s.latency.sum(), "shard {}: exact partition", s.shard);
+        assert_eq!(s.slo.requests(), s.ops, "shard {}: SLO ledger complete", s.shard);
+    }
+}
+
+#[test]
+fn causal_paths_and_slo_are_worker_count_invariant() {
+    // The observability plane obeys the same contract as the digests:
+    // paths, attribution, SLO ledgers, and offender tables must be
+    // bit-identical at 1, 2, and 4 workers.
+    let base = run_fleet(&small_fleet(TenantKind::Http, 0x0b5, 1));
+    for workers in [2, 4] {
+        let other = run_fleet(&small_fleet(TenantKind::Http, 0x0b5, workers));
+        assert_eq!(other.attribution, base.attribution, "attribution at {workers} workers");
+        for (a, b) in base.shards.iter().zip(&other.shards) {
+            assert_eq!(a.paths, b.paths, "shard {} paths diverged at {workers} workers", a.shard);
+            assert_eq!(a.stat_snapshot, b.stat_snapshot, "shard {} veilstat snapshot", a.shard);
+        }
+        assert_eq!(other.slo.breaches(), base.slo.breaches());
+        assert_eq!(other.slo.top_offenders(8), base.slo.top_offenders(8));
+        assert_eq!(other.tail.threshold_cycles, base.tail.threshold_cycles);
+        assert_eq!(other.tail.requests, base.tail.requests);
+        assert_eq!(other.tail.dominant, base.tail.dominant);
+        assert_eq!(other.flame_folded("t"), base.flame_folded("t"), "folded stacks");
+    }
+}
+
+#[test]
 fn scheduler_runs_every_task_once_in_order_under_any_steal_order() {
     // Pure scheduler property test: no CVMs, so it can afford to sweep
     // many (seed, worker-count) points. Tasks carry enough busy-work to
