@@ -5,13 +5,19 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 
+use veil_core::cvm::CvmBuilder;
+use veil_core::service::NoServices;
 use veil_hv::Hypervisor;
+use veil_os::error::OsError;
 use veil_snp::fault::SnpError;
 use veil_snp::ghcb::{Ghcb, GhcbExit};
 use veil_snp::machine::{Machine, MachineConfig};
 use veil_snp::perms::{Access, Cpl, Vmpl, VmplPerms};
 use veil_snp::pt::{AddressSpace, PteFlags};
 use veil_snp::rmp::{PageState, RmpMutation};
+use veil_snp::vcek::{
+    self, ChainReport, ChainVerifier, DeriveStage, Tamper, TcbVersion, VerifyError,
+};
 use veil_trace::EventCounters;
 
 use crate::ops::{AdversaryOp, PolicyKnob, DATA_FRAMES, FRAMES, VA_SLOTS};
@@ -33,6 +39,11 @@ const PAGE: u64 = 4096;
 /// "VMSA frames stay immutable" invariant, checked at the register
 /// level rather than through the (already differential) access path.
 const MARKER_BASE: u64 = 0x5EED_0000;
+/// Device seed the attestation ops derive their chip seed from —
+/// deliberately distinct from [`MachineConfig::default`]'s seed so the
+/// forgery expectations never accidentally share material with the
+/// world's own machine.
+const ADVERSARY_DEVICE_SEED: [u8; 32] = [0xAD; 32];
 
 /// End-of-sequence observation; twins must produce equal values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -577,6 +588,87 @@ impl World {
                     }
                 }
                 Ok(format!("psc-batch {actual:?}"))
+            }
+            AdversaryOp::ForgeReport { tamper } => {
+                // Attestation differential: the hostile issuer and the
+                // chain verifier are independent derivations of the same
+                // trust material, so every forgery must be rejected with
+                // the tamper point's *exact* error — a generic rejection
+                // would let distinct attacks alias.
+                let seed = vcek::chip_seed(&ADVERSARY_DEVICE_SEED);
+                let measurement = [0x33u8; 32];
+                let nonce = [0x44u8; 32];
+                let (tamper, want) = match tamper % 6 {
+                    0 => (
+                        Tamper::WrongSeed,
+                        VerifyError::DerivationMismatch { stage: DeriveStage::Vcek },
+                    ),
+                    1 => (
+                        Tamper::StaleTcb(TcbVersion(0)),
+                        VerifyError::StaleTcb { claimed: TcbVersion(0), minimum: TcbVersion(1) },
+                    ),
+                    2 => (
+                        Tamper::SkipVcekStage,
+                        VerifyError::DerivationMismatch { stage: DeriveStage::AttestationKey },
+                    ),
+                    3 => (Tamper::FlipSignature, VerifyError::BadSignature),
+                    4 => (Tamper::MutateMeasurement, VerifyError::WrongMeasurement),
+                    _ => (Tamper::ClaimVmpl(Vmpl::Vmpl3), VerifyError::WrongVmpl(Vmpl::Vmpl3)),
+                };
+                let mut verifier =
+                    ChainVerifier::with_kds(&seed, TcbVersion(1), TcbVersion(8), measurement);
+                let hostile = ChainReport::issue_tampered(
+                    tamper,
+                    &seed,
+                    TcbVersion(2),
+                    measurement,
+                    nonce,
+                    [0u8; 64],
+                );
+                match verifier.verify(&hostile, &nonce) {
+                    Err(ref got) if *got == want => Ok(format!("forge-report rejected ({got})")),
+                    other => Err(format!(
+                        "attestation divergence on {op:?}: got {other:?}, want {want:?}"
+                    )),
+                }
+            }
+            AdversaryOp::ReplayStaleReport { nonce_byte } => {
+                let seed = vcek::chip_seed(&ADVERSARY_DEVICE_SEED);
+                let measurement = [0x33u8; 32];
+                let nonce = [nonce_byte; 32];
+                let mut verifier =
+                    ChainVerifier::with_kds(&seed, TcbVersion(1), TcbVersion(8), measurement);
+                let honest = ChainReport::issue(
+                    &seed,
+                    TcbVersion(2),
+                    measurement,
+                    Vmpl::Vmpl0,
+                    nonce,
+                    [0u8; 64],
+                );
+                match (verifier.verify(&honest, &nonce), verifier.verify(&honest, &nonce)) {
+                    (Ok(()), Err(VerifyError::Replayed)) => {
+                        Ok("replay-stale-report rejected".into())
+                    }
+                    other => Err(format!("replay divergence on {op:?}: {other:?}")),
+                }
+            }
+            AdversaryOp::BootTamperedImage { page, offset } => {
+                // The firmware stage must refuse the mutated image
+                // pre-launch, naming both digests; any other outcome
+                // (boot succeeds, or a different error) is a finding.
+                let result = CvmBuilder::new()
+                    .frames(2048)
+                    .attest(true)
+                    .tamper_boot_image(page as usize, offset as usize)
+                    .build_with(NoServices);
+                match result {
+                    Err(OsError::FirmwareRefused { expected, actual }) if expected != actual => {
+                        Ok("boot-tampered-image refused".into())
+                    }
+                    Ok(_) => Err(format!("firmware divergence on {op:?}: tampered boot accepted")),
+                    Err(e) => Err(format!("firmware divergence on {op:?}: {e:?}")),
+                }
             }
         }
     }

@@ -3,8 +3,9 @@
 //! Every op is something an attacker-controlled party can attempt
 //! through the public machine/hypervisor surface: guest accesses from
 //! any VMPL, the RMP instruction set, page-state-change and
-//! domain-switch GHCB flows, hostile-hypervisor policy flips, and
-//! page-table churn to stress the TLB. Ops carry raw indices (gfns,
+//! domain-switch GHCB flows, hostile-hypervisor policy flips,
+//! page-table churn to stress the TLB, and hostile attestation
+//! derivations thrown at the chain verifier. Ops carry raw indices (gfns,
 //! VA slots, permission bits) rather than references so a failing
 //! sequence prints as a self-contained, replayable program.
 
@@ -237,12 +238,33 @@ pub enum AdversaryOp {
         /// Entry count (unclamped: oversized batches must be refused).
         count: u64,
     },
+    /// Forge an attestation chain report with one hostile derivation
+    /// (tamper point selected by `tamper` modulo the tamper table) and
+    /// demand the chain verifier names the *exact* error for it.
+    ForgeReport {
+        /// Tamper-point selector (executor reduces modulo the table).
+        tamper: u8,
+    },
+    /// Present an honest attestation report twice: the verifier must
+    /// accept the first presentation and refuse the replay.
+    ReplayStaleReport {
+        /// Byte the challenge nonce is filled with.
+        nonce_byte: u8,
+    },
+    /// Boot a CVM with the firmware measurement stage armed and one
+    /// boot-image byte mutated: the firmware must refuse pre-launch.
+    BootTamperedImage {
+        /// Boot-image page index (executor wraps into the image).
+        page: u8,
+        /// Byte offset inside that page (executor wraps).
+        offset: u8,
+    },
 }
 
 impl AdversaryOp {
     /// Every variant name, in declaration order — for coverage audits
     /// that must break at compile time when a variant is added.
-    pub const VARIANT_NAMES: [&'static str; 24] = [
+    pub const VARIANT_NAMES: [&'static str; 27] = [
         "GuestRead",
         "GuestWrite",
         "GuestExec",
@@ -267,6 +289,9 @@ impl AdversaryOp {
         "RingCorrupt",
         "DoorbellRing",
         "PscBatchReq",
+        "ForgeReport",
+        "ReplayStaleReport",
+        "BootTamperedImage",
     ];
 
     /// The variant's name, payload-free (matches [`Self::VARIANT_NAMES`]).
@@ -296,6 +321,9 @@ impl AdversaryOp {
             AdversaryOp::RingCorrupt { .. } => "RingCorrupt",
             AdversaryOp::DoorbellRing { .. } => "DoorbellRing",
             AdversaryOp::PscBatchReq { .. } => "PscBatchReq",
+            AdversaryOp::ForgeReport { .. } => "ForgeReport",
+            AdversaryOp::ReplayStaleReport { .. } => "ReplayStaleReport",
+            AdversaryOp::BootTamperedImage { .. } => "BootTamperedImage",
         }
     }
 }
@@ -444,6 +472,13 @@ pub fn op_strategy() -> Strategy<AdversaryOp> {
                 list_gfn,
                 count,
             }),
+        ),
+        (3, prop::any_u8().map(|tamper| AdversaryOp::ForgeReport { tamper })),
+        (2, prop::any_u8().map(|nonce_byte| AdversaryOp::ReplayStaleReport { nonce_byte })),
+        (
+            2,
+            prop::tuple2(prop::any_u8(), prop::any_u8())
+                .map(|(page, offset)| AdversaryOp::BootTamperedImage { page, offset }),
         ),
     ])
 }

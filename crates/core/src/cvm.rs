@@ -36,6 +36,9 @@ pub struct CvmBuilder {
     trace: Option<bool>,
     metrics: Option<bool>,
     batch: Option<bool>,
+    attest: Option<bool>,
+    expected_measurement: Option<[u8; 32]>,
+    image_tamper: Option<(usize, usize)>,
     shard: u32,
 }
 
@@ -60,6 +63,9 @@ impl CvmBuilder {
             trace: None,
             metrics: None,
             batch: None,
+            attest: None,
+            expected_measurement: None,
+            image_tamper: None,
             shard: 0,
         }
     }
@@ -129,6 +135,41 @@ impl CvmBuilder {
         self.batch.unwrap_or_else(|| std::env::var_os("VEIL_NO_BATCH").is_none_or(|v| v == *"0"))
     }
 
+    /// Enables/disables the VMPL-0 firmware measurement stage (measured
+    /// boot; see [`crate::firmware`]). When enforced, the staged boot image
+    /// is hashed *before* launch and the build fails fast with
+    /// [`OsError::FirmwareRefused`] on any mismatch. When not set
+    /// explicitly the `VEIL_ATTEST` environment variable decides (any
+    /// value other than `0` enforces). The stage is pure pre-boot
+    /// computation, so enforcement never changes trace digests.
+    pub fn attest(mut self, enforced: bool) -> Self {
+        self.attest = Some(enforced);
+        self
+    }
+
+    fn attest_enabled(&self) -> bool {
+        self.attest.unwrap_or_else(crate::firmware::env_enforced)
+    }
+
+    /// Pins the launch measurement the firmware stage must observe. When
+    /// unset, enforcement defaults to the canonical Veil image for the
+    /// configured layout (which catches *mutations*, the pvmfw threat
+    /// model); golden tests pin an explicit digest to also catch image
+    /// drift across builds.
+    pub fn expected_measurement(mut self, digest: [u8; 32]) -> Self {
+        self.expected_measurement = Some(digest);
+        self
+    }
+
+    /// Test/adversary hook: XOR-flips one byte of the staged boot image
+    /// (`page` indexes the image page list, `offset` the byte within it;
+    /// both wrap). Models a supply-chain or hypervisor image swap that the
+    /// firmware stage must refuse when enforcement is on.
+    pub fn tamper_boot_image(mut self, page: usize, offset: usize) -> Self {
+        self.image_tamper = Some((page, offset));
+        self
+    }
+
     /// Labels this CVM's machine with a fleet shard id (see
     /// [`veil_snp::machine::MachineConfig::shard`]). Label-only: shard 7
     /// boots, runs, and digests exactly like shard 0.
@@ -164,7 +205,21 @@ impl CvmBuilder {
         let mut hv = Hypervisor::new(machine);
         hv.set_trace(self.trace_enabled());
         hv.set_metrics(self.metrics_enabled());
-        let image = veil_boot_image(&layout);
+        let mut image = veil_boot_image(&layout);
+        if let Some((page, offset)) = self.image_tamper {
+            let page = page % image.len();
+            let data = &mut image[page].1;
+            let offset = offset % data.len();
+            data[offset] ^= 0xff;
+        }
+        if self.attest_enabled() {
+            // The firmware measurement stage: hash what is about to boot,
+            // refuse before a single payload instruction runs.
+            let expected = self.expected_measurement.unwrap_or_else(|| {
+                crate::firmware::measure_image(&veil_boot_image(&layout), layout.boot_vmsa)
+            });
+            crate::firmware::enforce(expected, &image, layout.boot_vmsa)?;
+        }
         hv.launch(&image, layout.boot_vmsa)?;
 
         let boot_start = hv.machine.cycles().total();
@@ -485,6 +540,45 @@ mod tests {
         let mut cvm = CvmBuilder::new().frames(2048).build_with(NoServices).unwrap();
         let mon_gpa = Machine::gpa(cvm.gate.monitor.layout.mon_pool.start);
         assert!(cvm.hv.machine.write(Vmpl::Vmpl3, mon_gpa, b"attack").is_err());
+    }
+
+    #[test]
+    fn firmware_stage_refuses_mutated_image() {
+        let err = CvmBuilder::new()
+            .frames(2048)
+            .attest(true)
+            .tamper_boot_image(0, 5)
+            .build_with(NoServices)
+            .unwrap_err();
+        assert!(
+            matches!(err, OsError::FirmwareRefused { .. }),
+            "expected fail-fast refusal, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn firmware_stage_accepts_pristine_image_without_perturbing_boot() {
+        let attested = CvmBuilder::new().frames(2048).attest(true).build_with(NoServices).unwrap();
+        let plain = CvmBuilder::new().frames(2048).attest(false).build_with(NoServices).unwrap();
+        assert_eq!(
+            attested.hv.machine.launch_measurement(),
+            plain.hv.machine.launch_measurement(),
+            "enforcement is pure pre-boot computation"
+        );
+        assert_eq!(attested.veil_boot_cycles, plain.veil_boot_cycles);
+    }
+
+    #[test]
+    fn firmware_stage_honours_pinned_measurement() {
+        let layout = Layout::compute(&LayoutConfig::default());
+        let good = crate::firmware::measure_image(&veil_boot_image(&layout), layout.boot_vmsa);
+        CvmBuilder::new().attest(true).expected_measurement(good).build_with(NoServices).unwrap();
+        let err = CvmBuilder::new()
+            .attest(true)
+            .expected_measurement([0xab; 32])
+            .build_with(NoServices)
+            .unwrap_err();
+        assert!(matches!(err, OsError::FirmwareRefused { .. }));
     }
 
     #[test]

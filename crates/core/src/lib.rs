@@ -21,6 +21,8 @@
 //!   services (VeilS-KCI/ENC/LOG, in `veil-services`) plug into.
 //! * [`remote`] — the remote user: attestation verification and the
 //!   secure channel (§5.1).
+//! * [`firmware`] — the VMPL-0 measured-boot stage (pvmfw/NVRC style):
+//!   pre-boot image hash, fail-fast refusal on mismatch.
 //! * [`cvm`] — the generic CVM assembly: launch, VeilMon init, kernel
 //!   boot, plus the *native* (Veil-less) baseline used by the evaluation.
 //!
@@ -42,6 +44,7 @@
 
 pub mod cvm;
 pub mod domain;
+pub mod firmware;
 pub mod gate;
 pub mod idcb;
 pub mod layout;

@@ -1,0 +1,121 @@
+//! HKDF-SHA-256 (RFC 5869).
+//!
+//! Veil uses HKDF for the VCEK-style attestation key derivation chain
+//! (§ DESIGN.md 15): a per-chip root seed is extracted with the TCB version
+//! as salt to produce the TCB-versioned VCEK, which is then expanded with the
+//! launch measurement to bind the per-VM attestation key to the exact image
+//! that booted. Both stages are plain RFC 5869 extract/expand over the
+//! existing [`HmacSha256`] primitive, so a verifier that holds the VCEK can
+//! re-derive and audit every step offline.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// `HKDF-Extract(salt, ikm)`: concentrates input keying material into a
+/// fixed-length pseudorandom key. An empty `salt` is treated as the RFC 5869
+/// default (a string of `HashLen` zeros) — callers may simply pass `&[]`.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    let zeros = [0u8; DIGEST_LEN];
+    let salt = if salt.is_empty() { &zeros[..] } else { salt };
+    HmacSha256::mac(salt, ikm)
+}
+
+/// `HKDF-Expand(prk, info, out)`: fills `out` with output keying material
+/// derived from the pseudorandom key `prk` and context string `info`.
+///
+/// # Panics
+///
+/// Panics if `out.len() > 255 * 32` (the RFC 5869 length limit).
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut filled = 0usize;
+    let mut counter = 1u8;
+    while filled < out.len() {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        let block = h.finalize();
+        let take = (out.len() - filled).min(DIGEST_LEN);
+        out[filled..filled + take].copy_from_slice(&block[..take]);
+        filled += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot `HKDF(salt, ikm, info)` producing a 32-byte key — the only output
+/// size the Veil derivation chain uses.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; DIGEST_LEN] {
+    let prk = extract(salt, ikm);
+    let mut out = [0u8; DIGEST_LEN];
+    expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    // RFC 5869 Appendix A test vectors (SHA-256 cases).
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(hex(&prk), "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_2_long_inputs() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(hex(&prk), "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244");
+        let mut okm = [0u8; 82];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_empty_salt_and_info() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        assert_eq!(hex(&prk), "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04");
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_is_extract_then_expand() {
+        let got = derive(b"salt", b"ikm", b"info");
+        let prk = extract(b"salt", b"ikm");
+        let mut want = [0u8; DIGEST_LEN];
+        expand(&prk, b"info", &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn distinct_info_distinct_keys() {
+        assert_ne!(derive(b"s", b"k", b"a"), derive(b"s", b"k", b"b"));
+    }
+}

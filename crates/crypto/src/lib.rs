@@ -7,6 +7,7 @@
 //!
 //! * [`sha256`] — FIPS 180-4 SHA-256 (launch digests, enclave measurements).
 //! * [`hmac`] — RFC 2104 HMAC-SHA-256 (report signatures, page integrity).
+//! * [`hkdf`] — RFC 5869 HKDF-SHA-256 (VCEK-style attestation key chain).
 //! * [`chacha20`] — RFC 8439 ChaCha20 (sealed enclave page encryption).
 //! * [`aes`] — FIPS 197 AES-128 plus CTR mode (MbedTLS-style self tests).
 //! * [`dh`] — finite-field Diffie–Hellman over a 256-bit prime (secure
@@ -38,6 +39,7 @@ pub mod chacha20;
 pub mod ct;
 pub mod dh;
 pub mod drbg;
+pub mod hkdf;
 pub mod hmac;
 pub mod sha256;
 

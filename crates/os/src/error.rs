@@ -71,6 +71,14 @@ pub enum OsError {
     MonitorRefused(String),
     /// The kernel is misconfigured for the attempted operation.
     Config(String),
+    /// The VMPL-0 firmware measurement stage refused to boot: the staged
+    /// boot image does not hash to the expected launch measurement.
+    FirmwareRefused {
+        /// Measurement the firmware was provisioned to expect.
+        expected: [u8; 32],
+        /// Measurement computed over the staged boot image.
+        actual: [u8; 32],
+    },
 }
 
 impl fmt::Display for OsError {
@@ -81,6 +89,16 @@ impl fmt::Display for OsError {
             OsError::OutOfFrames => write!(f, "out of physical frames"),
             OsError::MonitorRefused(r) => write!(f, "monitor refused: {r}"),
             OsError::Config(r) => write!(f, "kernel configuration error: {r}"),
+            OsError::FirmwareRefused { expected, actual } => {
+                let short =
+                    |d: &[u8; 32]| d[..4].iter().map(|b| format!("{b:02x}")).collect::<String>();
+                write!(
+                    f,
+                    "firmware refused boot: image measures {}.. but {}.. expected",
+                    short(actual),
+                    short(expected)
+                )
+            }
         }
     }
 }

@@ -152,6 +152,18 @@ pub enum MonRequest {
         /// `true` to validate (accept), `false` to invalidate (release).
         validate: bool,
     },
+    /// VeilS-ATT: produce a signed VCEK-chain attestation report
+    /// (§5.1 + DESIGN.md §15). The kernel relays a remote verifier's
+    /// challenge; the trusted side answers with the serialized
+    /// [`veil_snp::vcek::ChainReport`] bytes. Batched-path compatible like
+    /// every other service request (a deferred report is simply a report
+    /// whose bytes nobody reads).
+    AttestReport {
+        /// Verifier-issued freshness challenge, echoed in the report.
+        nonce: [u8; 32],
+        /// Requester-chosen binding data (e.g. a DH public key).
+        report_data: [u8; 64],
+    },
 }
 
 /// Monitor response carried back through the IDCB.
@@ -184,6 +196,7 @@ impl MonRequest {
             MonRequest::EncDestroy { .. } => 12,
             MonRequest::StatSnapshot => 13,
             MonRequest::PvalidateBatch { .. } => 14,
+            MonRequest::AttestReport { .. } => 15,
         }
     }
 
@@ -207,6 +220,7 @@ impl MonRequest {
             MonRequest::EncDestroy { .. } => 16,
             MonRequest::StatSnapshot => 16,
             MonRequest::PvalidateBatch { gfns, .. } => 24 + 8 * gfns.len(),
+            MonRequest::AttestReport { .. } => 16 + 32 + 64,
         }
     }
 }
@@ -362,6 +376,13 @@ mod tests {
         let mut hv = hv();
         let mut gate = NativeMonitor::new(vec![]);
         let err = gate.request(&mut hv, 0, MonRequest::LogAppend { record: vec![1] });
+        assert!(matches!(err, Err(OsError::MonitorRefused(_))));
+        // Chain attestation is a protected service too: no Veil, no report.
+        let err = gate.request(
+            &mut hv,
+            0,
+            MonRequest::AttestReport { nonce: [0; 32], report_data: [0; 64] },
+        );
         assert!(matches!(err, Err(OsError::MonitorRefused(_))));
     }
 

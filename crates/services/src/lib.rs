@@ -9,6 +9,8 @@
 //!   (§6.2).
 //! * [`log`] — **VeilS-LOG**: tamper-proof system audit logs in reserved
 //!   append-only `Dom_SER` storage with execute-ahead relay (§6.3).
+//! * [`attest`] — **VeilS-ATT**: VCEK-chain attestation reports served
+//!   over the gate path (DESIGN.md §15).
 //!
 //! [`VeilServices`] bundles all three behind
 //! [`veil_core::service::ServiceDispatch`]; [`CvmBuilder`] builds the
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attest;
 pub mod enc;
 pub mod kci;
 pub mod log;
@@ -41,6 +44,7 @@ use veil_hv::Hypervisor;
 use veil_os::error::OsError;
 use veil_os::monitor::{MonRequest, MonResponse};
 
+pub use attest::VeilAttest;
 pub use enc::{Enclave, EnclaveMeasurement, VeilSEnc};
 pub use kci::VeilSKci;
 pub use log::VeilSLog;
@@ -57,6 +61,8 @@ pub struct VeilServices {
     pub log: VeilSLog,
     /// Metrics snapshots over the protected channel.
     pub stat: VeilStat,
+    /// Chain attestation reports over the protected channel.
+    pub attest: VeilAttest,
 }
 
 impl VeilServices {
@@ -136,6 +142,9 @@ impl ServiceDispatch for VeilServices {
                 Ok(MonResponse::Ok)
             }
             MonRequest::StatSnapshot => Ok(MonResponse::Bytes(self.stat.snapshot(hv))),
+            MonRequest::AttestReport { nonce, report_data } => {
+                Ok(MonResponse::Bytes(self.attest.report(hv, *nonce, *report_data)?))
+            }
             MonRequest::Pvalidate { .. }
             | MonRequest::PvalidateBatch { .. }
             | MonRequest::CreateVcpu { .. } => Err(OsError::MonitorRefused(
@@ -211,6 +220,27 @@ impl CvmBuilder {
         self
     }
 
+    /// Toggle the VMPL-0 firmware measurement stage (see
+    /// [`veil_core::cvm::CvmBuilder::attest`]).
+    pub fn attest(mut self, enforced: bool) -> Self {
+        self.inner = self.inner.attest(enforced);
+        self
+    }
+
+    /// Pin the launch measurement the firmware stage must observe (see
+    /// [`veil_core::cvm::CvmBuilder::expected_measurement`]).
+    pub fn expected_measurement(mut self, digest: [u8; 32]) -> Self {
+        self.inner = self.inner.expected_measurement(digest);
+        self
+    }
+
+    /// Test/adversary hook: flip one staged boot-image byte (see
+    /// [`veil_core::cvm::CvmBuilder::tamper_boot_image`]).
+    pub fn tamper_boot_image(mut self, page: usize, offset: usize) -> Self {
+        self.inner = self.inner.tamper_boot_image(page, offset);
+        self
+    }
+
     /// Label the CVM's machine with a fleet shard id (see
     /// [`veil_core::cvm::CvmBuilder::shard`]).
     pub fn shard(mut self, shard: u32) -> Self {
@@ -273,6 +303,44 @@ mod tests {
         let gpa = module.text_gfns[0] * 4096;
         assert!(cvm.hv.machine.read(Vmpl::Vmpl3, gpa, 8).is_ok());
         assert!(cvm.hv.machine.write(Vmpl::Vmpl3, gpa, b"patch").is_err());
+    }
+
+    #[test]
+    fn attest_report_served_over_the_gate() {
+        use veil_os::monitor::{MonRequest, MonResponse, MonitorChannel};
+        use veil_snp::vcek::{ChainReport, ChainVerifier, TcbVersion};
+
+        let mut cvm = CvmBuilder::new().frames(2048).build().unwrap();
+        let nonce = [0x41; 32];
+        let resp = cvm
+            .gate
+            .request(&mut cvm.hv, 0, MonRequest::AttestReport { nonce, report_data: [0x42; 64] })
+            .unwrap();
+        let MonResponse::Bytes(bytes) = resp else { panic!("expected report bytes") };
+        assert_eq!(cvm.gate.services.attest.report_count(), 1);
+
+        // Offline verification with KDS-style out-of-band VCEK.
+        let report = ChainReport::from_bytes(&bytes).unwrap();
+        let tcb = cvm.hv.machine.tcb_version();
+        let mut verifier =
+            ChainVerifier::new(cvm.hv.machine.launch_measurement().unwrap(), TcbVersion(0));
+        verifier.trust_tcb(tcb, cvm.hv.machine.kds_vcek(tcb));
+        assert_eq!(verifier.verify(&report, &nonce), Ok(()));
+        // Replaying the same report must fail.
+        assert!(verifier.verify(&report, &nonce).is_err());
+
+        // Batched path: a deferred report drains without error (the
+        // response is fire-and-forget).
+        cvm.gate
+            .request_deferred(
+                &mut cvm.hv,
+                0,
+                MonRequest::AttestReport { nonce: [0x43; 32], report_data: [0; 64] },
+            )
+            .unwrap();
+        cvm.flush_gate().unwrap();
+        assert_eq!(cvm.gate.deferred_errors(), 0);
+        assert_eq!(cvm.gate.services.attest.report_count(), 2);
     }
 
     #[test]

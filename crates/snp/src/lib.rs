@@ -54,6 +54,7 @@ pub mod perms;
 pub mod pt;
 pub mod rmp;
 mod tlb;
+pub mod vcek;
 pub mod vmsa;
 
 /// Convenient glob-import of the types nearly every consumer needs.
@@ -67,5 +68,6 @@ pub mod prelude {
     pub use crate::perms::{Cpl, Vmpl, VmplPerms};
     pub use crate::pt::{AddressSpace, PteFlags};
     pub use crate::rmp::{PageState, RmpEntry};
+    pub use crate::vcek::{ChainReport, ChainVerifier, DeriveStage, TcbVersion, VerifyError};
     pub use crate::vmsa::Vmsa;
 }

@@ -27,6 +27,9 @@ pub struct MachineConfig {
     /// Seed for the unique per-device attestation key (models the
     /// AMD-fused VCEK).
     pub device_key_seed: [u8; 32],
+    /// TCB version the firmware reports in chain attestation (models the
+    /// SNP TCB_VERSION fuse state the VCEK is derived against).
+    pub tcb_version: crate::vcek::TcbVersion,
     /// Cycle-cost constants.
     pub cost: CostModel,
     /// Fleet shard id this machine belongs to. Label-only: threaded into
@@ -43,6 +46,7 @@ impl Default for MachineConfig {
             // 16 MiB default guest; benches scale this up.
             frames: 4096,
             device_key_seed: [0x5e; 32],
+            tcb_version: crate::vcek::TcbVersion(2),
             cost: CostModel::default(),
             shard: 0,
         }
@@ -69,6 +73,11 @@ pub struct Machine {
     cycles: CycleAccount,
     halted: Option<HaltReason>,
     device_key: [u8; 32],
+    /// Fused per-chip secret rooting the VCEK derivation chain. Never
+    /// readable by guest software; only the firmware paths below use it.
+    chip_seed: [u8; 32],
+    /// TCB version the chain reports claim (see [`MachineConfig`]).
+    tcb_version: crate::vcek::TcbVersion,
     launch_measurement: Option<[u8; 32]>,
     /// Per-VCPU GHCB MSR value (guest frame number of the GHCB).
     ghcb_msr: BTreeMap<u32, u64>,
@@ -98,6 +107,7 @@ impl Machine {
     /// Creates a machine with all pages hypervisor-shared (pre-launch).
     pub fn new(config: MachineConfig) -> Self {
         let device_key = veil_crypto::HmacSha256::mac(&config.device_key_seed, b"veil-device-key");
+        let chip_seed = crate::vcek::chip_seed(&config.device_key_seed);
         let cache_enabled = std::env::var_os("VEIL_NO_TLB").is_none();
         let metrics_enabled = veil_metrics::env_enabled();
         let mut metrics = MetricsRegistry::new();
@@ -114,6 +124,8 @@ impl Machine {
             cycles: CycleAccount::new(),
             halted: None,
             device_key,
+            chip_seed,
+            tcb_version: config.tcb_version,
             launch_measurement: None,
             ghcb_msr: BTreeMap::new(),
             tracer,
@@ -779,6 +791,41 @@ impl Machine {
     /// models the VCEK certificate chain).
     pub fn device_verification_key(&self) -> [u8; 32] {
         self.device_key
+    }
+
+    /// Produces a full VCEK-chain attestation report for software at `vmpl`:
+    /// chip seed → TCB-versioned VCEK → measurement-bound attestation key,
+    /// with DICE-style certificates for both stages (see [`crate::vcek`]).
+    /// Like [`Machine::attest`], the firmware round trip costs one domain
+    /// switch; returns `None` before launch finalizes.
+    pub fn attest_chain(
+        &mut self,
+        vmpl: Vmpl,
+        nonce: [u8; 32],
+        report_data: [u8; 64],
+    ) -> Option<crate::vcek::ChainReport> {
+        let measurement = self.launch_measurement?;
+        let cycles = self.cost.domain_switch();
+        self.charge(CostCategory::Other, cycles);
+        Some(crate::vcek::ChainReport::issue(
+            &self.chip_seed,
+            self.tcb_version,
+            measurement,
+            vmpl,
+            nonce,
+            report_data,
+        ))
+    }
+
+    /// TCB version the firmware currently claims in chain reports.
+    pub fn tcb_version(&self) -> crate::vcek::TcbVersion {
+        self.tcb_version
+    }
+
+    /// Plays the AMD KDS role: hands out the VCEK for `tcb` so a remote
+    /// verifier can check chain reports without ever seeing the chip seed.
+    pub fn kds_vcek(&self, tcb: crate::vcek::TcbVersion) -> [u8; 32] {
+        crate::vcek::derive_vcek(&self.chip_seed, tcb)
     }
 
     /// Number of guest frames.
